@@ -1,0 +1,36 @@
+//! E1/E2 bench: centralized MPX clustering and the distance-proxy checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::rng;
+use radio_graph::cluster_graph::{distance_proxy_stats, ClusterGraph};
+use radio_graph::generators;
+use radio_graph::mpx::{cluster_centralized, MpxParams};
+
+fn bench_mpx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpx_clustering");
+    group.sample_size(20);
+    for &side in &[16usize, 32, 48] {
+        group.bench_with_input(BenchmarkId::new("cluster_grid", side), &side, |b, &side| {
+            let g = generators::grid(side, side);
+            let params = MpxParams::from_inverse_beta(8);
+            let mut r = rng(100 + side as u64);
+            b.iter(|| cluster_centralized(&g, params, &mut r));
+        });
+    }
+    group.bench_function("distance_proxy_grid_30", |b| {
+        let g = generators::grid(30, 30);
+        let params = MpxParams::from_inverse_beta(8);
+        let mut r = rng(111);
+        let clustering = cluster_centralized(&g, params, &mut r);
+        let cg = ClusterGraph::build(&g, clustering);
+        let pairs: Vec<(usize, usize)> = (0..g.num_nodes())
+            .step_by(31)
+            .flat_map(|u| (0..g.num_nodes()).step_by(37).map(move |v| (u, v)))
+            .collect();
+        b.iter(|| distance_proxy_stats(&g, &cg, &pairs, 4.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpx);
+criterion_main!(benches);

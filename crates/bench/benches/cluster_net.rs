@@ -1,0 +1,37 @@
+//! E5 bench: simulating one Local-Broadcast on the cluster graph
+//! (Lemma 3.2), i.e. the per-virtual-call overhead the recursion pays.
+
+use std::collections::{HashMap, HashSet};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::rng;
+use radio_graph::generators;
+use radio_protocols::{
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg, VirtualClusterNet,
+};
+
+fn bench_virtual_lb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("virtual_cluster_local_broadcast");
+    group.sample_size(20);
+    for &side in &[12usize, 20, 28] {
+        group.bench_with_input(BenchmarkId::new("grid", side), &side, |b, &side| {
+            let g = generators::grid(side, side);
+            let cfg = ClusteringConfig::new(4);
+            let mut r = rng(500 + side as u64);
+            let mut net = AbstractLbNetwork::new(g.clone());
+            let state = cluster_distributed(&mut net, &cfg, &mut r);
+            let k = state.num_clusters();
+            let senders: HashMap<usize, Msg> =
+                (0..k / 2).map(|c| (c, Msg::words(&[c as u64]))).collect();
+            let receivers: HashSet<usize> = (k / 2..k).collect();
+            b.iter(|| {
+                let mut virt = VirtualClusterNet::new(&mut net, &state);
+                virt.local_broadcast(&senders, &receivers)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_lb);
+criterion_main!(benches);

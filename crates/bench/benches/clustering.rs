@@ -1,0 +1,33 @@
+//! E4 bench: distributed MPX clustering (Lemma 2.5) across graph sizes and β.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::rng;
+use radio_graph::generators;
+use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig};
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_clustering");
+    group.sample_size(10);
+    for &side in &[10usize, 20, 30] {
+        for &inv_beta in &[4u64, 8] {
+            let id = format!("grid{side}x{side}_invbeta{inv_beta}");
+            group.bench_with_input(
+                BenchmarkId::new("grid", id),
+                &(side, inv_beta),
+                |b, &(side, inv_beta)| {
+                    let g = generators::grid(side, side);
+                    let cfg = ClusteringConfig::new(inv_beta);
+                    let mut r = rng(400 + side as u64 + inv_beta);
+                    b.iter(|| {
+                        let mut net = AbstractLbNetwork::new(g.clone());
+                        cluster_distributed(&mut net, &cfg, &mut r)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E10/E11 bench: the Theorem 5.1 counting argument and the Theorem 5.2
+//! construction, as the instance grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use energy_bfs::hardness::{edge_probing_protocol, GoodSlotAccounting};
+use radio_bench::rng;
+use radio_graph::generators;
+use radio_graph::lower_bound::build_disjointness_graph;
+
+fn bench_hardness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardness");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("good_slot_accounting", n), &n, |b, &n| {
+            let g = generators::complete(n);
+            let mut r = rng(900 + n as u64);
+            let (trace, _) = edge_probing_protocol(&g, 64, &mut r);
+            b.iter(|| GoodSlotAccounting::evaluate(n, &trace));
+        });
+    }
+    for &ell in &[6u32, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("disjointness_graph", ell), &ell, |b, &ell| {
+            let k = 1u64 << ell;
+            let set_a: Vec<u64> = (0..k / 2).map(|i| (2 * i + 1) % k).collect();
+            let set_b: Vec<u64> = (0..k / 2).map(|i| (2 * i) % k).collect();
+            b.iter(|| build_disjointness_graph(&set_a, &set_b, ell));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardness);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E3 bench: wall-clock cost of the Decay Local-Broadcast (Lemma 2.4) on the
+//! physical simulator as contention grows.
+
+use std::collections::{HashMap, HashSet};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::rng;
+use radio_graph::generators;
+use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
+
+fn bench_decay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decay_local_broadcast");
+    group.sample_size(20);
+    for &n in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("star_all_senders", n), &n, |b, &n| {
+            let g = generators::star(n);
+            let params = DecayParams::for_network(n, n - 1);
+            let senders: HashMap<usize, u64> = (1..n).map(|v| (v, v as u64)).collect();
+            let receivers: HashSet<usize> = [0usize].into_iter().collect();
+            let mut r = rng(300 + n as u64);
+            b.iter(|| {
+                let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
+                decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decay);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E6/E7 bench: one recursive-BFS query (hierarchy prebuilt) versus the
+//! trivial baseline, across path lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use energy_bfs::baseline::trivial_bfs;
+use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy};
+use radio_bench::scaling_config;
+use radio_graph::generators;
+use radio_protocols::AbstractLbNetwork;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_on_path");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 1024] {
+        let depth = (n - 1) as u64;
+        group.bench_with_input(BenchmarkId::new("recursive_query", n), &n, |b, &n| {
+            let g = generators::path(n);
+            let config = scaling_config(depth, 600);
+            let mut net = AbstractLbNetwork::new(g);
+            let hierarchy = build_hierarchy(&mut net, &config);
+            b.iter(|| {
+                recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("trivial_baseline", n), &n, |b, &n| {
+            let g = generators::path(n);
+            let active = vec![true; n];
+            b.iter(|| {
+                let mut net = AbstractLbNetwork::new(g.clone());
+                trivial_bfs(&mut net, &[0], &active, depth)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

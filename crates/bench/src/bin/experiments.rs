@@ -1,0 +1,737 @@
+//! Experiment runner: regenerates every quantitative claim of the paper
+//! (the E1–E14 index in DESIGN.md / EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p radio-bench --release --bin experiments -- all
+//! cargo run -p radio-bench --release --bin experiments -- e6 e12
+//! ```
+
+use std::collections::HashMap;
+
+use energy_bfs::baseline::trivial_bfs;
+use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
+use energy_bfs::estimates::UpdateKind;
+use energy_bfs::hardness::{
+    disjointness_communication_bits, disjointness_energy_threshold, distinguishing_success_rate,
+    edge_probing_protocol, round_robin_protocol, GoodSlotAccounting,
+};
+use energy_bfs::metrics::{format_table, EnergySummary};
+use energy_bfs::zseq::{ruler, ZSequence};
+use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
+use radio_bench::{rng, scaling_config, standard_families};
+use radio_graph::cluster_graph::{distance_proxy_stats, lemma_2_1_bound, ClusterGraph};
+use radio_graph::diameter::{exact_diameter, satisfies_theorem_5_4_bound};
+use radio_graph::lower_bound::build_disjointness_graph;
+use radio_graph::mpx::{cluster_centralized, MpxParams};
+use radio_graph::{bfs::bfs_distances, generators};
+use radio_protocols::cast::down_cast;
+use radio_protocols::{
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
+    VirtualClusterNet,
+};
+use radio_sim::DecayParams;
+use rand::Rng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let wants = |id: &str| run_all || args.iter().any(|a| a == id);
+
+    if wants("e1") {
+        e1_ball_intersections();
+    }
+    if wants("e2") {
+        e2_distance_proxy();
+    }
+    if wants("e3") {
+        e3_local_broadcast();
+    }
+    if wants("e4") {
+        e4_distributed_clustering();
+    }
+    if wants("e5") {
+        e5_cluster_simulation_overhead();
+    }
+    if wants("e6") {
+        e6_bfs_energy_scaling();
+    }
+    if wants("e7") {
+        e7_claims_1_and_2();
+    }
+    if wants("e8") {
+        e8_estimate_evolution();
+    }
+    if wants("e9") {
+        e9_z_sequence();
+    }
+    if wants("e10") {
+        e10_kn_vs_kn_minus_e();
+    }
+    if wants("e11") {
+        e11_disjointness_reduction();
+    }
+    if wants("e12") {
+        e12_two_approx_diameter();
+    }
+    if wants("e13") {
+        e13_three_halves_diameter();
+    }
+    if wants("e14") {
+        e14_polling_tradeoff();
+    }
+}
+
+fn header(id: &str, claim: &str) {
+    println!();
+    println!("==== {id}: {claim} ====");
+}
+
+/// E1 — Lemma 2.1: P(Ball(v, ℓ) meets > j clusters) ≤ (1 − e^{−2ℓβ})^j.
+fn e1_ball_intersections() {
+    header("E1", "Lemma 2.1 — ball/cluster intersection tail");
+    let g = generators::grid(24, 24);
+    let params = MpxParams::from_inverse_beta(4);
+    let ell = params.inverse_beta();
+    let trials = 300;
+    let mut r = rng(1);
+    let mut rows = Vec::new();
+    for j in [2u32, 4, 8, 16, 24] {
+        let mut exceed = 0usize;
+        for _ in 0..trials {
+            let c = cluster_centralized(&g, params, &mut r);
+            let v = r.gen_range(0..g.num_nodes());
+            if c.ball_cluster_intersections(&g, v, ell as u32) > j as usize {
+                exceed += 1;
+            }
+        }
+        rows.push(vec![
+            j.to_string(),
+            format!("{:.4}", exceed as f64 / trials as f64),
+            format!("{:.4}", lemma_2_1_bound(params.beta, ell as f64, j)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["j", "empirical P(> j clusters)", "Lemma 2.1 bound"], &rows)
+    );
+}
+
+/// E2 — Lemma 2.2/2.3 + Figure 1: the cluster graph as a distance proxy.
+fn e2_distance_proxy() {
+    header("E2", "Lemmas 2.2/2.3 — cluster-graph distances track original distances");
+    let g = generators::grid(40, 40);
+    let n = g.num_nodes();
+    let mut r = rng(2);
+    let mut rows = Vec::new();
+    for inv_beta in [2u64, 4, 8] {
+        let params = MpxParams::from_inverse_beta(inv_beta);
+        let clustering = cluster_centralized(&g, params, &mut r);
+        let radius_bound = (4.0 * (n as f64).ln() * inv_beta as f64).ceil();
+        let cut = clustering.cut_fraction(&g);
+        let max_radius = clustering.max_radius();
+        let clusters = clustering.num_clusters();
+        let cg = ClusterGraph::build(&g, clustering);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .step_by(13)
+            .flat_map(|u| (0..n).step_by(19).map(move |v| (u, v)))
+            .collect();
+        let stats = distance_proxy_stats(&g, &cg, &pairs, 4.0);
+        rows.push(vec![
+            format!("1/{inv_beta}"),
+            clusters.to_string(),
+            format!("{max_radius} (≤ {radius_bound:.0})"),
+            format!("{cut:.3}"),
+            format!("{}/{}", stats.pairs - stats.violations, stats.pairs),
+            format!("{:.2}", stats.mean_ratio),
+            format!("{:.2}", stats.max_ratio),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "β",
+                "#clusters",
+                "max radius (bound)",
+                "cut fraction",
+                "Lemma 2.2 pairs ok",
+                "mean dist*/(β·dist)",
+                "max ratio",
+            ],
+            &rows
+        )
+    );
+}
+
+/// E3 — Lemma 2.4: the Decay Local-Broadcast on the physical simulator.
+fn e3_local_broadcast() {
+    header("E3", "Lemma 2.4 — Decay Local-Broadcast time and energy");
+    let mut rows = Vec::new();
+    let mut r = rng(3);
+    for (n, f) in [(64usize, 1e-3f64), (64, 1e-6), (256, 1e-3), (256, 1e-6)] {
+        let g = generators::star(n);
+        let params = DecayParams {
+            max_degree: n - 1,
+            failure_prob: f,
+        };
+        let trials = 40;
+        let mut delivered = 0usize;
+        let mut sender_energy = 0u64;
+        let mut receiver_energy = 0u64;
+        let mut slots = 0u64;
+        for _ in 0..trials {
+            let mut net: radio_sim::RadioNetwork<u64> = radio_sim::RadioNetwork::new(g.clone());
+            let senders: HashMap<usize, u64> = (1..n).map(|v| (v, v as u64)).collect();
+            let receivers: std::collections::HashSet<usize> = [0usize].into_iter().collect();
+            let out =
+                radio_sim::decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+            if out.received.contains_key(&0) {
+                delivered += 1;
+            }
+            sender_energy += net.energy(1);
+            receiver_energy += net.energy(0);
+            slots += out.slots_used;
+        }
+        rows.push(vec![
+            format!("{n}"),
+            format!("{f:.0e}"),
+            format!("{}/{trials}", delivered),
+            format!("{:.1}", sender_energy as f64 / trials as f64),
+            format!("{:.1}", receiver_energy as f64 / trials as f64),
+            format!("{:.0}", slots as f64 / trials as f64),
+            params.total_slots().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Δ+1",
+                "f",
+                "hub heard",
+                "mean sender energy",
+                "mean receiver energy",
+                "slots used",
+                "O(logΔ·log 1/f) budget",
+            ],
+            &rows
+        )
+    );
+    println!("Sender energy tracks log(1/f); a receiver that hears something stops early.");
+}
+
+/// E4 — Lemma 2.5: distributed clustering cost and agreement with the
+/// centralized growth law.
+fn e4_distributed_clustering() {
+    header("E4", "Lemma 2.5 — distributed MPX clustering over Local-Broadcast");
+    let mut rows = Vec::new();
+    for (name, g) in standard_families(4) {
+        let cfg = ClusteringConfig::new(4);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut r = rng(40);
+        let state = cluster_distributed(&mut net, &cfg, &mut r);
+        state.validate().expect("valid clustering");
+        let budget = cfg.rounds(net.global_n());
+        rows.push(vec![
+            name,
+            g.num_nodes().to_string(),
+            state.num_clusters().to_string(),
+            state.max_layer.to_string(),
+            net.lb_time().to_string(),
+            net.max_lb_energy().to_string(),
+            budget.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "graph",
+                "n",
+                "#clusters",
+                "max layer",
+                "LB calls",
+                "max energy (LB)",
+                "4·ln(n)/β budget",
+            ],
+            &rows
+        )
+    );
+}
+
+/// E5 — Lemmas 3.1/3.2: per-vertex overhead of casts and of simulating one
+/// Local-Broadcast on the cluster graph.
+fn e5_cluster_simulation_overhead() {
+    header("E5", "Lemmas 3.1/3.2 — cast and cluster-graph simulation overhead");
+    let mut rows = Vec::new();
+    for (name, g) in standard_families(5) {
+        let cfg = ClusteringConfig::new(4);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut r = rng(50);
+        let state = cluster_distributed(&mut net, &cfg, &mut r);
+        let n = g.num_nodes();
+        let before: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
+
+        // One down-cast to every cluster.
+        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
+            .map(|c| (c, Msg::words(&[c as u64])))
+            .collect();
+        let _ = down_cast(&mut net, &state, &messages);
+        let after_cast: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
+        let cast_max = (0..n).map(|v| after_cast[v] - before[v]).max().unwrap_or(0);
+
+        // One simulated Local-Broadcast on G* between all clusters.
+        let quotient = state.quotient_graph(&g);
+        let virt_max = if quotient.num_edges() > 0 {
+            let mut virt = VirtualClusterNet::new(&mut net, &state);
+            let senders: HashMap<usize, Msg> = (0..quotient.num_nodes() / 2)
+                .map(|c| (c, Msg::words(&[c as u64])))
+                .collect();
+            let receivers: std::collections::HashSet<usize> =
+                (quotient.num_nodes() / 2..quotient.num_nodes()).collect();
+            let _ = virt.local_broadcast(&senders, &receivers);
+            let after_virt: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
+            (0..n).map(|v| after_virt[v] - after_cast[v]).max().unwrap_or(0)
+        } else {
+            0
+        };
+        let log_n = (n as f64).ln();
+        rows.push(vec![
+            name,
+            state.num_clusters().to_string(),
+            cast_max.to_string(),
+            virt_max.to_string(),
+            format!("{:.0}", 6.0 * log_n),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "graph",
+                "#clusters",
+                "down-cast max energy",
+                "virtual-LB max energy",
+                "O(log n) reference",
+            ],
+            &rows
+        )
+    );
+}
+
+/// E6 — Theorem 4.1: energy of the recursive BFS versus the baselines as the
+/// distance threshold grows.
+fn e6_bfs_energy_scaling() {
+    header(
+        "E6",
+        "Theorem 4.1 — recursive BFS energy grows sub-linearly in D (baseline is linear)",
+    );
+    let mut rows = Vec::new();
+    for exp in [7u32, 8, 9, 10, 11] {
+        let n = 1usize << exp;
+        let depth = (n - 1) as u64;
+        let g = generators::path(n);
+
+        // Baseline: everyone listens every round.
+        let mut base_net = AbstractLbNetwork::new(g.clone());
+        let active = vec![true; n];
+        let _ = trivial_bfs(&mut base_net, &[0], &active, depth);
+        let base = EnergySummary::of(&base_net);
+
+        // Recursive BFS with β tuned to D (the paper's prescription).
+        let config = scaling_config(depth, 6);
+        let mut rec_net = AbstractLbNetwork::new(g.clone());
+        let hierarchy = build_hierarchy(&mut rec_net, &config);
+        let setup = EnergySummary::of(&rec_net);
+        let outcome =
+            recursive_bfs_with_hierarchy(&mut rec_net, &hierarchy, &[0], depth, &config, &[]);
+        let total = EnergySummary::of(&rec_net);
+        let query = total.since(&setup);
+        let truth = bfs_distances(&g, 0);
+        let correct = g
+            .nodes()
+            .filter(|&v| outcome.dist[v] == Some(truth[v] as u64))
+            .count();
+
+        rows.push(vec![
+            depth.to_string(),
+            config.inv_beta.to_string(),
+            base.max_lb_energy.to_string(),
+            setup.max_lb_energy.to_string(),
+            query.max_lb_energy.to_string(),
+            format!("{:.2}", query.max_lb_energy as f64 / base.max_lb_energy as f64),
+            format!("{correct}/{n}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "D",
+                "1/β",
+                "baseline max energy",
+                "recursive setup energy",
+                "recursive query energy",
+                "query/baseline",
+                "labels correct",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading: each doubling of D doubles the baseline energy but grows the recursive query \
+         energy by a smaller factor (≈√2 with one recursion level); the query/baseline ratio \
+         falls as D grows, which is the sub-polynomial-energy shape of Theorem 4.1. Absolute \
+         crossover needs the asymptotic regime; the measured trend is the reproducible claim."
+    );
+}
+
+/// E7 — Claims 1 and 2: per-vertex X_i memberships and per-cluster Special
+/// Updates stay Õ(1) as D grows.
+fn e7_claims_1_and_2() {
+    header("E7", "Claims 1 & 2 — wavefront and Special-Update participation stay Õ(1)");
+    let mut rows = Vec::new();
+    for n in [256usize, 512, 1024, 2048] {
+        let g = generators::path(n);
+        let depth = (n - 1) as u64;
+        let config = RecursiveBfsConfig {
+            inv_beta: 16,
+            max_depth: 1,
+            trivial_cutoff: 16,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let hierarchy = build_hierarchy(&mut net, &config);
+        let outcome =
+            recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
+        rows.push(vec![
+            depth.to_string(),
+            outcome.stats.stages.to_string(),
+            outcome.stats.max_wavefront_memberships().to_string(),
+            outcome.stats.max_special_memberships().to_string(),
+            outcome.stats.total_recursive_calls().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "D",
+                "stages ⌈βD⌉",
+                "max X_i memberships (Claim 1)",
+                "max Special Updates (Claim 2)",
+                "recursive calls",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Claim 1 column stays essentially flat while D grows 8-fold; Claim 2 grows only \
+         polylogarithmically (the paper bounds it by O(w\u{b2}\u{b7}log D)), far below the stage count."
+    );
+}
+
+/// E8 — Figure 3: evolution of [L_i(C), U_i(C)] for a traced cluster.
+fn e8_estimate_evolution() {
+    header("E8", "Figure 3 — time evolution of a cluster's distance estimates");
+    let n = 1024usize;
+    let g = generators::path(n);
+    let config = RecursiveBfsConfig {
+        inv_beta: 16,
+        max_depth: 1,
+        trivial_cutoff: 16,
+        seed: 8,
+        ..Default::default()
+    };
+    let mut net = AbstractLbNetwork::new(g.clone());
+    let hierarchy = build_hierarchy(&mut net, &config);
+    let traced = hierarchy[0].cluster_of[3 * n / 4];
+    let outcome = recursive_bfs_with_hierarchy(
+        &mut net,
+        &hierarchy,
+        &[0],
+        (n - 1) as u64,
+        &config,
+        &[traced],
+    );
+    let (_, points) = &outcome.stats.estimate_traces[0];
+    let mut rows = Vec::new();
+    for p in points.iter().take(40) {
+        rows.push(vec![
+            p.stage.to_string(),
+            match p.kind {
+                UpdateKind::Initialize => "initialize".to_string(),
+                UpdateKind::Special => "special".to_string(),
+                UpdateKind::Automatic => "automatic".to_string(),
+            },
+            format!("{:.1}", p.lower),
+            if p.upper.is_finite() {
+                format!("{:.1}", p.upper)
+            } else {
+                "∞".to_string()
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["stage i", "update", "L_i(C)", "U_i(C)"], &rows)
+    );
+    println!(
+        "The lower bound falls by β⁻¹ per automatic update and is refreshed upward by special \
+         updates as the wavefront approaches — the sawtooth of Figure 3."
+    );
+}
+
+/// E9 — Lemma 4.2: structure of the Z-sequence, checked over a long prefix.
+fn e9_z_sequence() {
+    header("E9", "Lemma 4.2 — Z-sequence periodicity");
+    let z = ZSequence::from_d_star(256);
+    let prefix: Vec<String> = (1..=24).map(|i| z.z(i).to_string()).collect();
+    println!("Y[1..16]  = {:?}", (1..=16).map(ruler).collect::<Vec<_>>());
+    println!("Z[1..24]  = [{}]  (D* = 256)", prefix.join(", "));
+    let mut rows = Vec::new();
+    let horizon = 4096;
+    for &b in &z.value_set() {
+        let count = z.count_at_least(horizon, b);
+        rows.push(vec![
+            b.to_string(),
+            count.to_string(),
+            (horizon / (b / 4)).to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["value b", format!("# of i ≤ {horizon} with Z[i] ≥ b").as_str(), "period prediction"],
+            &rows
+        )
+    );
+}
+
+/// E10 — Theorem 5.1: distinguishing K_n from K_n − e needs Ω(n) energy.
+fn e10_kn_vs_kn_minus_e() {
+    header("E10", "Theorem 5.1 — (2−ε)-approximating the diameter needs Ω(n) energy");
+    let n = 96;
+    let mut r = rng(10);
+    let mut rows = Vec::new();
+    for budget in [1u64, 8, 32, 128, 512, 2048, 8192] {
+        let success = distinguishing_success_rate(n, budget, 150, &mut r);
+        let g = generators::complete(n);
+        let (trace, _) = edge_probing_protocol(&g, budget, &mut r);
+        let acc = GoodSlotAccounting::evaluate(n, &trace);
+        rows.push(vec![
+            budget.to_string(),
+            format!("{:.2}", success),
+            format!("{:.2}", acc.success_upper_bound),
+            acc.good_pairs.to_string(),
+            acc.total_pairs.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "per-device energy E",
+                "empirical success",
+                "counting-argument bound",
+                "|X_good|",
+                "all pairs",
+            ],
+            &rows
+        )
+    );
+    let g = generators::complete_minus_edge(n, 1, 2);
+    let (trace, witnessed) = round_robin_protocol(&g);
+    let acc = GoodSlotAccounting::evaluate(n, &trace);
+    println!(
+        "Round-robin (E = {} = Θ(n)): witnesses all {} present edges, identifies the missing one \
+         with certainty.",
+        acc.max_energy,
+        witnessed.len()
+    );
+}
+
+/// E11 — Theorem 5.2: the sparse construction and the communication ledger.
+fn e11_disjointness_reduction() {
+    header("E11", "Theorem 5.2 — (3/2−ε)-approx diameter needs Ω̃(n) energy on sparse graphs");
+    let mut r = rng(11);
+    let mut rows = Vec::new();
+    for ell in [5u32, 6, 7, 8] {
+        let k = 1u64 << ell;
+        let size = (k / 2) as usize;
+        let set_a: Vec<u64> = (0..size).map(|_| r.gen_range(0..k)).collect();
+        let set_b: Vec<u64> = (0..size).map(|_| r.gen_range(0..k)).collect();
+        let inst = build_disjointness_graph(&set_a, &set_b, ell);
+        let diam = exact_diameter(&inst.graph).unwrap();
+        let degen = radio_graph::arboricity::degeneracy(&inst.graph);
+        let per_unit = disjointness_communication_bits(&inst, 1);
+        let threshold = inst.k as f64 / per_unit as f64;
+        let asymptotic = inst.k as f64 / (inst.k as f64).log2().powi(2);
+        let _ = disjointness_energy_threshold(&inst);
+        rows.push(vec![
+            k.to_string(),
+            inst.graph.num_nodes().to_string(),
+            format!("{} (predicted {})", diam, inst.predicted_diameter()),
+            degen.to_string(),
+            format!("{:.1}", (inst.graph.num_nodes() as f64).log2()),
+            per_unit.to_string(),
+            format!("{threshold:.2}"),
+            format!("{asymptotic:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "k",
+                "n",
+                "diameter (2⇔disjoint, 3⇔not)",
+                "degeneracy",
+                "log2 n",
+                "bits per unit energy",
+                "energy threshold k/bits",
+                "k/log²k (theory scale)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Below the threshold the two-player simulation exchanges fewer than k bits, which would \
+         contradict the Ω(k) set-disjointness bound — so deciding diameter 2 vs 3 (and hence any \
+         (3/2−ε)-approximation) needs Ω(k/polylog) = Ω̃(n) energy."
+    );
+}
+
+/// E12 — Theorem 5.3: 2-approximation of the diameter.
+fn e12_two_approx_diameter() {
+    header("E12", "Theorem 5.3 — 2-approximation of the diameter");
+    let config = RecursiveBfsConfig {
+        inv_beta: 8,
+        max_depth: 1,
+        trivial_cutoff: 8,
+        seed: 12,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for (name, g) in standard_families(12) {
+        let diam = exact_diameter(&g).unwrap() as u64;
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let est = two_approx_diameter(&mut net, &config);
+        let ok = est.estimate <= diam && 2 * est.estimate >= diam;
+        rows.push(vec![
+            name,
+            g.num_nodes().to_string(),
+            diam.to_string(),
+            format!("{} ({})", est.estimate, if ok { "ok" } else { "VIOLATED" }),
+            est.energy.max_lb_energy.to_string(),
+            est.energy.since(&est.setup_energy).max_lb_energy.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["graph", "n", "diam", "estimate", "total energy", "query energy"],
+            &rows
+        )
+    );
+}
+
+/// E13 — Theorem 5.4: nearly-3/2 approximation of the diameter.
+fn e13_three_halves_diameter() {
+    header("E13", "Theorem 5.4 — nearly-3/2 approximation of the diameter");
+    let config = RecursiveBfsConfig {
+        inv_beta: 8,
+        max_depth: 1,
+        trivial_cutoff: 8,
+        seed: 13,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for (name, g) in standard_families(13) {
+        let diam = exact_diameter(&g).unwrap();
+        let n = g.num_nodes();
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let est = three_halves_approx_diameter(&mut net, &config, 13);
+        let ok = satisfies_theorem_5_4_bound(diam, est.estimate as u32);
+        rows.push(vec![
+            name,
+            n.to_string(),
+            diam.to_string(),
+            format!("{} ({})", est.estimate, if ok { "ok" } else { "VIOLATED" }),
+            est.bfs_count.to_string(),
+            format!("{:.0}", (n as f64).sqrt()),
+            est.energy.max_lb_energy.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "graph",
+                "n",
+                "diam",
+                "estimate (⌊2·diam/3⌋ ≤ D' ≤ diam)",
+                "#BFS",
+                "√n",
+                "max energy",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "The estimate is never below ⌊2·diam/3⌋ and the number of BFS computations tracks √n·log n \
+         — the n^{{1/2+o(1)}} energy regime of Theorem 5.4, versus n^{{o(1)}} for the 2-approximation."
+    );
+}
+
+/// E14 — the introduction's polling-period latency/energy trade-off.
+fn e14_polling_tradeoff() {
+    header("E14", "Section 1 — polling period trades latency for energy");
+    use radio_sim::device::{run_devices, PollingDevice};
+    let mut r = rng(14);
+    let (g, _) = generators::connected_unit_disc(400, 25.0, 2.4, 300, &mut r)
+        .expect("connected sensor field");
+    let labels = bfs_distances(&g, 0);
+    let depth = *labels.iter().max().unwrap() as u64;
+    let mut rows = Vec::new();
+    for period in [2u64, 4, 8, 16, 32] {
+        // Each hop needs a handful of polling cycles for the decay-style
+        // forwarding to get through contention.
+        let deadline = (16 * depth + 100) * period;
+        let mut devices: HashMap<usize, PollingDevice> = g
+            .nodes()
+            .map(|v| {
+                let init = if v == 0 { Some(1) } else { None };
+                (
+                    v,
+                    PollingDevice::new(labels[v] as u64, period, deadline, init)
+                        .with_seed(7000 + v as u64),
+                )
+            })
+            .collect();
+        let mut net: radio_sim::RadioNetwork<u64> = radio_sim::RadioNetwork::new(g.clone());
+        run_devices(&mut net, &mut devices, deadline);
+        let informed = g.nodes().filter(|&v| devices[&v].message.is_some()).count();
+        let latency = g.nodes().filter_map(|v| devices[&v].received_at).max().unwrap_or(0);
+        rows.push(vec![
+            period.to_string(),
+            format!("{informed}/{}", g.num_nodes()),
+            latency.to_string(),
+            net.max_energy().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["period P", "informed", "latency (slots)", "max energy (awake slots)"],
+            &rows
+        )
+    );
+    println!(
+        "Latency grows ∝ P while per-sensor energy (awake slots) stays essentially constant; an \
+         always-on schedule would pay energy equal to the latency column — the ÷P power saving."
+    );
+}

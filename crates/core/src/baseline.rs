@@ -1,0 +1,207 @@
+//! Baseline BFS algorithms.
+//!
+//! * [`trivial_bfs`] — the "trivial BFS algorithm that settles all distances
+//!   up to `D'` using `D'` time and energy, by calling Local-Broadcast `D'`
+//!   times" (paper, Section 4.3). It is both the base case of the recursion
+//!   and, run on the whole graph, the classical Decay-style BFS baseline
+//!   ([3]) that the recursive algorithm is compared against in experiment
+//!   E6: every active, unsettled vertex listens in every call, so the
+//!   per-vertex energy is `Θ(D)` Local-Broadcast units.
+//! * [`decay_bfs`] — the same wavefront protocol without a known distance
+//!   bound: it keeps advancing until a full sweep settles nothing new.
+
+use std::collections::{HashMap, HashSet};
+
+use radio_protocols::{LbNetwork, Msg};
+
+/// Result of a wavefront BFS at the Local-Broadcast level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WavefrontResult {
+    /// `dist[v] = Some(d)` if `v` was settled at distance `d` (within the
+    /// depth bound and the active set), `None` otherwise.
+    pub dist: Vec<Option<u64>>,
+    /// Number of Local-Broadcast calls used.
+    pub calls: u64,
+}
+
+/// Advances a BFS wavefront for exactly `depth` Local-Broadcast calls,
+/// restricted to `active` vertices, starting from `sources` (which must be
+/// active). Every active unsettled vertex listens in every call; settled
+/// frontier vertices transmit their distance.
+///
+/// This is the trivial algorithm of Section 4.3 and also the building block
+/// the recursive algorithm uses to advance its wavefront one `β⁻¹`-step
+/// stage at a time (there restricted to the set `X_i`).
+pub fn trivial_bfs(
+    net: &mut dyn LbNetwork,
+    sources: &[usize],
+    active: &[bool],
+    depth: u64,
+) -> WavefrontResult {
+    let n = net.num_nodes();
+    assert_eq!(active.len(), n);
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    for &s in sources {
+        if active[s] {
+            dist[s] = Some(0);
+        }
+    }
+    let mut calls = 0u64;
+    for step in 0..depth {
+        let senders: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| active[v] && dist[v] == Some(step))
+            .map(|v| (v, Msg::words(&[step])))
+            .collect();
+        let receivers: HashSet<usize> =
+            (0..n).filter(|&v| active[v] && dist[v].is_none()).collect();
+        if receivers.is_empty() {
+            break;
+        }
+        // Even when the frontier is empty the receivers still listen (they
+        // cannot know); this is what makes the trivial algorithm expensive.
+        let delivered = net.local_broadcast(&senders, &receivers);
+        calls += 1;
+        for (v, m) in delivered {
+            if dist[v].is_none() {
+                dist[v] = Some(m.word(0) + 1);
+            }
+        }
+    }
+    WavefrontResult { dist, calls }
+}
+
+/// Decay-style BFS without a distance bound: advances the wavefront until a
+/// sweep settles no new vertex. All unsettled vertices listen in every call.
+pub fn decay_bfs(net: &mut dyn LbNetwork, source: usize) -> WavefrontResult {
+    let n = net.num_nodes();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    dist[source] = Some(0);
+    let mut calls = 0u64;
+    let mut frontier_dist = 0u64;
+    loop {
+        let senders: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| dist[v] == Some(frontier_dist))
+            .map(|v| (v, Msg::words(&[frontier_dist])))
+            .collect();
+        let receivers: HashSet<usize> = (0..n).filter(|&v| dist[v].is_none()).collect();
+        if senders.is_empty() || receivers.is_empty() {
+            break;
+        }
+        let delivered = net.local_broadcast(&senders, &receivers);
+        calls += 1;
+        let mut settled_any = false;
+        for (v, m) in delivered {
+            if dist[v].is_none() {
+                dist[v] = Some(m.word(0) + 1);
+                settled_any = true;
+            }
+        }
+        frontier_dist += 1;
+        if !settled_any {
+            break;
+        }
+    }
+    WavefrontResult { dist, calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::bfs::bfs_distances;
+    use radio_graph::{generators, INFINITY};
+    use radio_protocols::AbstractLbNetwork;
+
+    fn check_against_reference(g: &radio_graph::Graph, result: &WavefrontResult, source: usize) {
+        let truth = bfs_distances(g, source);
+        for v in g.nodes() {
+            match result.dist[v] {
+                Some(d) => assert_eq!(d, truth[v] as u64, "vertex {v}"),
+                None => assert_eq!(truth[v], INFINITY, "vertex {v} should be reachable"),
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_bfs_matches_reference_on_grid() {
+        let g = generators::grid(7, 9);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let active = vec![true; g.num_nodes()];
+        let result = trivial_bfs(&mut net, &[0], &active, 100);
+        check_against_reference(&g, &result, 0);
+    }
+
+    #[test]
+    fn trivial_bfs_respects_depth_bound() {
+        let g = generators::path(20);
+        let mut net = AbstractLbNetwork::new(g);
+        let active = vec![true; 20];
+        let result = trivial_bfs(&mut net, &[0], &active, 5);
+        assert_eq!(result.dist[5], Some(5));
+        assert_eq!(result.dist[6], None);
+        assert_eq!(result.calls, 5);
+    }
+
+    #[test]
+    fn trivial_bfs_respects_active_set() {
+        let g = generators::path(6);
+        let mut net = AbstractLbNetwork::new(g);
+        let mut active = vec![true; 6];
+        active[3] = false;
+        let result = trivial_bfs(&mut net, &[0], &active, 10);
+        assert_eq!(result.dist[2], Some(2));
+        assert_eq!(result.dist[3], None);
+        assert_eq!(result.dist[4], None);
+    }
+
+    #[test]
+    fn trivial_bfs_multi_source() {
+        let g = generators::path(9);
+        let mut net = AbstractLbNetwork::new(g);
+        let active = vec![true; 9];
+        let result = trivial_bfs(&mut net, &[0, 8], &active, 10);
+        assert_eq!(result.dist[4], Some(4));
+        assert_eq!(result.dist[6], Some(2));
+    }
+
+    #[test]
+    fn trivial_bfs_inactive_source_is_ignored() {
+        let g = generators::path(4);
+        let mut net = AbstractLbNetwork::new(g);
+        let mut active = vec![true; 4];
+        active[0] = false;
+        let result = trivial_bfs(&mut net, &[0], &active, 10);
+        assert!(result.dist.iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn trivial_bfs_energy_is_linear_in_depth() {
+        // The point of the baseline: per-vertex energy grows with D.
+        let g = generators::path(50);
+        let mut net = AbstractLbNetwork::new(g);
+        let active = vec![true; 50];
+        let _ = trivial_bfs(&mut net, &[0], &active, 49);
+        // The last vertex listens in every one of the 49 calls.
+        assert_eq!(net.lb_energy(49), 49);
+        assert_eq!(net.max_lb_energy(), 49);
+    }
+
+    #[test]
+    fn decay_bfs_matches_reference_and_halts() {
+        let g = generators::grid(6, 6);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let result = decay_bfs(&mut net, 7);
+        check_against_reference(&g, &result, 7);
+        // Exactly eccentricity-many productive sweeps.
+        let ecc = bfs_distances(&g, 7).iter().copied().max().unwrap() as u64;
+        assert!(result.calls >= ecc && result.calls <= ecc + 1);
+    }
+
+    #[test]
+    fn decay_bfs_on_disconnected_graph_leaves_unreachable_unset() {
+        let g = radio_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let result = decay_bfs(&mut net, 0);
+        check_against_reference(&g, &result, 0);
+        assert_eq!(result.dist[3], None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Configuration of the recursive BFS.
+//!
+//! The paper sets `β = 2^{−√(log D₀ · log log n)}` and recursion depth
+//! `L = √(log D₀ / log log n)`, and leaves the constants `w = Θ(log n)` and
+//! the clustering constants unspecified. The configuration makes all of
+//! them explicit (and testable); [`RecursiveBfsConfig::auto`] reproduces the
+//! paper's asymptotic choices for a given `(n, D₀)`.
+
+use radio_protocols::ClusteringConfig;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of [`crate::recursive_bfs::recursive_bfs`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecursiveBfsConfig {
+    /// `1/β` (an integer, as the paper requires).
+    pub inv_beta: u64,
+    /// Multiplier `c_w` in `w = c_w · ln n`; the paper needs a
+    /// "sufficiently large multiple of log n".
+    pub w_factor: f64,
+    /// Maximum recursion depth `L`; depth `L` reverts to the trivial BFS.
+    pub max_depth: usize,
+    /// Depth bound below which the recursion bottoms out early into the
+    /// trivial BFS regardless of remaining levels (a practical cut-off; the
+    /// paper's analysis only requires bottoming out at `L`).
+    pub trivial_cutoff: u64,
+    /// Constant multiplying `log_{1/β} n` in the clustering contention
+    /// bound `C` (see [`ClusteringConfig`]).
+    pub contention_factor: f64,
+    /// Constant multiplying `C·ln n` in the cast index-set length `ℓ`.
+    pub ell_factor: f64,
+    /// RNG seed for all randomized components (clustering shifts, tags,
+    /// tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for RecursiveBfsConfig {
+    fn default() -> Self {
+        RecursiveBfsConfig {
+            inv_beta: 8,
+            w_factor: 2.0,
+            max_depth: 1,
+            trivial_cutoff: 16,
+            contention_factor: 1.0,
+            ell_factor: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+impl RecursiveBfsConfig {
+    /// The paper's asymptotic parameter choices for a network of size `n`
+    /// and distance threshold `d0`:
+    /// `β = 2^{−√(log d0 · log log n)}` (rounded to a power of two so that
+    /// `1/β` is an integer) and `L = ⌈√(log d0 / log log n)⌉`.
+    pub fn auto(n: usize, d0: u64) -> Self {
+        let n = n.max(4) as f64;
+        let d0f = (d0.max(2)) as f64;
+        let log_d = d0f.log2();
+        let loglog_n = n.log2().log2().max(1.0);
+        let exponent = (log_d * loglog_n).sqrt();
+        let inv_beta = 2f64.powf(exponent).round().max(2.0) as u64;
+        let inv_beta = inv_beta.next_power_of_two().max(2);
+        let depth = (log_d / loglog_n).sqrt().ceil().max(1.0) as usize;
+        RecursiveBfsConfig {
+            inv_beta,
+            max_depth: depth,
+            ..Default::default()
+        }
+    }
+
+    /// β as a float.
+    pub fn beta(&self) -> f64 {
+        1.0 / self.inv_beta as f64
+    }
+
+    /// `w = c_w · ln n` (at least 2).
+    pub fn w(&self, global_n: usize) -> f64 {
+        (self.w_factor * (global_n.max(2) as f64).ln()).max(2.0)
+    }
+
+    /// The clustering configuration induced by these parameters.
+    pub fn clustering(&self) -> ClusteringConfig {
+        ClusteringConfig {
+            beta: self.beta(),
+            contention_factor: self.contention_factor,
+            ell_factor: self.ell_factor,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style `1/β` override (panics unless ≥ 2).
+    pub fn with_inv_beta(mut self, inv_beta: u64) -> Self {
+        assert!(inv_beta >= 2);
+        self.inv_beta = inv_beta;
+        self
+    }
+
+    /// Builder-style recursion-depth override.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = RecursiveBfsConfig::default();
+        assert!(c.beta() > 0.0 && c.beta() <= 0.5);
+        assert!(c.w(1000) >= 2.0);
+        assert_eq!(c.clustering().inverse_beta(), 8);
+    }
+
+    #[test]
+    fn auto_scales_with_depth_and_n() {
+        let small = RecursiveBfsConfig::auto(1000, 16);
+        let large = RecursiveBfsConfig::auto(1000, 1 << 20);
+        assert!(large.inv_beta > small.inv_beta);
+        assert!(large.max_depth >= small.max_depth);
+        assert!(small.inv_beta.is_power_of_two());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = RecursiveBfsConfig::default()
+            .with_seed(9)
+            .with_inv_beta(32)
+            .with_max_depth(3);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.inv_beta, 32);
+        assert_eq!(c.max_depth, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inv_beta_must_be_at_least_two() {
+        let _ = RecursiveBfsConfig::default().with_inv_beta(1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Energy summaries and per-stage statistics.
+//!
+//! The experiments need three kinds of numbers:
+//!
+//! * **Energy/time summaries** of a network after running an algorithm, in
+//!   Local-Broadcast units (and physical slots when the physical backend is
+//!   used) — [`EnergySummary`].
+//! * **Claim 1 / Claim 2 statistics**: how many stages each vertex joined
+//!   the wavefront set `X_i`, and how many Special Updates each cluster
+//!   participated in — [`RecursionStats`].
+//! * **Figure 3 traces**: the evolution of `[L_i(C), U_i(C)]` for chosen
+//!   clusters — also in [`RecursionStats`].
+
+use radio_protocols::{LbNetwork, PhysicalLbNetwork};
+use serde::{Deserialize, Serialize};
+
+use crate::estimates::EstimateTracePoint;
+
+/// A snapshot of a network's energy/time counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergySummary {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Maximum per-node energy in Local-Broadcast units.
+    pub max_lb_energy: u64,
+    /// Mean per-node energy in Local-Broadcast units.
+    pub mean_lb_energy: f64,
+    /// Total Local-Broadcast calls (time in LB units).
+    pub lb_time: u64,
+    /// Maximum per-node physical energy (slots), when available.
+    pub max_physical_energy: Option<u64>,
+    /// Elapsed physical slots, when available.
+    pub physical_slots: Option<u64>,
+}
+
+impl EnergySummary {
+    /// Summarizes any [`LbNetwork`] (LB units only).
+    pub fn of(net: &dyn LbNetwork) -> Self {
+        let nodes = net.num_nodes();
+        let total: u64 = (0..nodes).map(|v| net.lb_energy(v)).sum();
+        EnergySummary {
+            nodes,
+            max_lb_energy: net.max_lb_energy(),
+            mean_lb_energy: if nodes == 0 {
+                0.0
+            } else {
+                total as f64 / nodes as f64
+            },
+            lb_time: net.lb_time(),
+            max_physical_energy: None,
+            physical_slots: None,
+        }
+    }
+
+    /// Summarizes a [`PhysicalLbNetwork`], including slot-level counters.
+    pub fn of_physical(net: &PhysicalLbNetwork) -> Self {
+        let mut s = Self::of(net);
+        s.max_physical_energy = Some(net.max_physical_energy());
+        s.physical_slots = Some(net.physical_slots());
+        s
+    }
+
+    /// The difference `self − before`, for measuring one phase of a longer
+    /// run (e.g. query energy after setup energy).
+    pub fn since(&self, before: &EnergySummary) -> EnergySummary {
+        EnergySummary {
+            nodes: self.nodes,
+            max_lb_energy: self.max_lb_energy.saturating_sub(before.max_lb_energy),
+            mean_lb_energy: (self.mean_lb_energy - before.mean_lb_energy).max(0.0),
+            lb_time: self.lb_time.saturating_sub(before.lb_time),
+            max_physical_energy: match (self.max_physical_energy, before.max_physical_energy) {
+                (Some(a), Some(b)) => Some(a.saturating_sub(b)),
+                (a, _) => a,
+            },
+            physical_slots: match (self.physical_slots, before.physical_slots) {
+                (Some(a), Some(b)) => Some(a.saturating_sub(b)),
+                (a, _) => a,
+            },
+        }
+    }
+}
+
+/// Statistics gathered while running the recursive BFS, backing Claims 1–2
+/// and Figure 3.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecursionStats {
+    /// For every vertex of the top-level network, the number of stages `i`
+    /// in which it belonged to the wavefront set `X_i` (Claim 1).
+    pub wavefront_memberships: Vec<u64>,
+    /// For every top-level cluster, the number of Special Updates it
+    /// participated in, i.e. the number of induced subgraphs `G*_i` it
+    /// joined (Claim 2).
+    pub special_update_memberships: Vec<u64>,
+    /// Number of recursive calls made at each depth (`[0]` = calls on the
+    /// first cluster graph, etc.).
+    pub recursive_calls_by_depth: Vec<u64>,
+    /// Number of wavefront stages executed at the top level.
+    pub stages: u64,
+    /// Estimate traces of the clusters requested via
+    /// [`crate::recursive_bfs::recursive_bfs_with_hierarchy`]'s trace set,
+    /// keyed in the same order.
+    pub estimate_traces: Vec<(usize, Vec<EstimateTracePoint>)>,
+}
+
+impl RecursionStats {
+    /// Maximum number of `X_i` memberships over vertices (Claim 1 bound).
+    pub fn max_wavefront_memberships(&self) -> u64 {
+        self.wavefront_memberships.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum number of Special Updates over clusters (Claim 2 bound).
+    pub fn max_special_memberships(&self) -> u64 {
+        self.special_update_memberships
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total recursive calls across depths.
+    pub fn total_recursive_calls(&self) -> u64 {
+        self.recursive_calls_by_depth.iter().sum()
+    }
+}
+
+/// Formats a simple aligned table (used by the experiments binary and the
+/// examples; kept here so every consumer prints consistent output).
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators;
+    use radio_protocols::{AbstractLbNetwork, Msg};
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn summary_of_abstract_network() {
+        let g = generators::path(4);
+        let mut net = AbstractLbNetwork::new(g);
+        let senders: HashMap<usize, Msg> = [(0, Msg::words(&[1]))].into_iter().collect();
+        let receivers: HashSet<usize> = [1, 2].into_iter().collect();
+        net.local_broadcast(&senders, &receivers);
+        let s = EnergySummary::of(&net);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.max_lb_energy, 1);
+        assert_eq!(s.lb_time, 1);
+        assert!((s.mean_lb_energy - 0.75).abs() < 1e-12);
+        assert!(s.max_physical_energy.is_none());
+    }
+
+    #[test]
+    fn since_subtracts_counters() {
+        let a = EnergySummary {
+            nodes: 10,
+            max_lb_energy: 5,
+            mean_lb_energy: 2.0,
+            lb_time: 7,
+            max_physical_energy: Some(100),
+            physical_slots: Some(50),
+        };
+        let b = EnergySummary {
+            nodes: 10,
+            max_lb_energy: 2,
+            mean_lb_energy: 0.5,
+            lb_time: 3,
+            max_physical_energy: Some(40),
+            physical_slots: Some(20),
+        };
+        let d = a.since(&b);
+        assert_eq!(d.max_lb_energy, 3);
+        assert_eq!(d.lb_time, 4);
+        assert_eq!(d.max_physical_energy, Some(60));
+        assert_eq!(d.physical_slots, Some(30));
+        assert!((d.mean_lb_energy - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursion_stats_maxima() {
+        let stats = RecursionStats {
+            wavefront_memberships: vec![1, 3, 2],
+            special_update_memberships: vec![4, 0],
+            recursive_calls_by_depth: vec![5, 2],
+            stages: 7,
+            estimate_traces: Vec::new(),
+        };
+        assert_eq!(stats.max_wavefront_memberships(), 3);
+        assert_eq!(stats.max_special_memberships(), 4);
+        assert_eq!(stats.total_recursive_calls(), 7);
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let out = format_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+}

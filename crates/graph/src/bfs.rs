@@ -1,0 +1,267 @@
+//! Centralized breadth-first search.
+//!
+//! These routines are the *ground truth* against which the distributed,
+//! energy-metered algorithms of the other crates are validated: the paper's
+//! BreadthFirstSearch problem asks every device to learn exactly the value
+//! computed here by [`bfs_distances`].
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+use crate::{Dist, INFINITY};
+
+/// Single-source BFS distances from `source`.
+///
+/// Unreachable vertices get [`INFINITY`].
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Dist> {
+    multi_source_bfs(g, std::slice::from_ref(&source))
+}
+
+/// Multi-source BFS: distance from the *set* `sources` (minimum over the
+/// set). Unreachable vertices get [`INFINITY`].
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<Dist> {
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s < n, "source {s} out of range");
+        if dist[s] != 0 {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if dist[v] == INFINITY {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances restricted to the subgraph induced by `active` — the
+/// quantity `dist_A(S, u)` used throughout Section 4 of the paper.
+///
+/// A vertex participates (as an endpoint or an interior vertex of a path)
+/// only if `active[v]` is true. Sources that are inactive are ignored.
+pub fn restricted_bfs(g: &Graph, sources: &[NodeId], active: &[bool]) -> Vec<Dist> {
+    assert_eq!(active.len(), g.num_nodes());
+    let n = g.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s < n, "source {s} out of range");
+        if active[s] && dist[s] != 0 {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in g.neighbors(u) {
+            if active[v] && dist[v] == INFINITY {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree: for every vertex, its parent on some shortest path to the
+/// source (`None` for the source itself and for unreachable vertices), plus
+/// the distance labelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsTree {
+    /// Source vertex of the tree.
+    pub source: NodeId,
+    /// `parent[v]` is `v`'s parent, `None` for the source / unreachable.
+    pub parent: Vec<Option<NodeId>>,
+    /// BFS distance labels.
+    pub dist: Vec<Dist>,
+}
+
+impl BfsTree {
+    /// Maximum finite distance in the tree (the eccentricity of the source
+    /// within its component). `None` if the graph has no vertices.
+    pub fn eccentricity(&self) -> Option<Dist> {
+        self.dist.iter().copied().filter(|&d| d != INFINITY).max()
+    }
+
+    /// Vertices at exactly distance `d` (a BFS "layer").
+    pub fn layer(&self, d: Dist) -> Vec<NodeId> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x == d)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Reconstructs a shortest path from the source to `v`, inclusive.
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[v] == INFINITY {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Computes a BFS tree rooted at `source`.
+pub fn bfs_tree(g: &Graph, source: NodeId) -> BfsTree {
+    let n = g.num_nodes();
+    assert!(source < n);
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == INFINITY {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsTree {
+        source,
+        parent,
+        dist,
+    }
+}
+
+/// Checks that `labels` is a correct BFS labelling from `source`:
+/// the source is 0, every other reachable vertex `v` has
+/// `labels[v] = 1 + min_{u ∈ N(v)} labels[u]`, and unreachable vertices are
+/// [`INFINITY`].
+///
+/// This is the `polylog(n)`-energy verifiability observation from the
+/// paper's introduction, in centralized form; it is used pervasively by the
+/// test suite.
+pub fn is_valid_bfs_labeling(g: &Graph, source: NodeId, labels: &[Dist]) -> bool {
+    if labels.len() != g.num_nodes() {
+        return false;
+    }
+    let truth = bfs_distances(g, source);
+    labels == truth.as_slice()
+}
+
+/// The set of vertices with finite distance (i.e. reachable from the
+/// sources that produced `dist`).
+pub fn reachable_set(dist: &[Dist]) -> Vec<NodeId> {
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITY)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d, vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_vertices_are_infinity() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INFINITY);
+        assert_eq!(d[4], INFINITY);
+        assert_eq!(reachable_set(&d), vec![0, 1]);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = generators::path(9);
+        let d = multi_source_bfs(&g, &[0, 8]);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_source_with_duplicate_sources() {
+        let g = generators::cycle(6);
+        let d = multi_source_bfs(&g, &[2, 2, 2]);
+        assert_eq!(d[2], 0);
+        assert_eq!(d[5], 3);
+    }
+
+    #[test]
+    fn restricted_bfs_respects_active_set() {
+        // Path 0-1-2-3-4; deactivate 2: 3 and 4 become unreachable from 0.
+        let g = generators::path(5);
+        let active = vec![true, true, false, true, true];
+        let d = restricted_bfs(&g, &[0], &active);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INFINITY);
+        assert_eq!(d[3], INFINITY);
+    }
+
+    #[test]
+    fn restricted_bfs_ignores_inactive_sources() {
+        let g = generators::path(4);
+        let active = vec![false, true, true, true];
+        let d = restricted_bfs(&g, &[0, 3], &active);
+        assert_eq!(d[0], INFINITY);
+        assert_eq!(d[3], 0);
+        assert_eq!(d[1], 2);
+    }
+
+    #[test]
+    fn bfs_tree_paths_are_shortest() {
+        let g = generators::grid(4, 4);
+        let t = bfs_tree(&g, 0);
+        for v in g.nodes() {
+            let p = t.path_to(v).unwrap();
+            assert_eq!(p.len() as Dist - 1, t.dist[v]);
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), v);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tree_eccentricity_and_layers() {
+        let g = generators::path(7);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.eccentricity(), Some(6));
+        assert_eq!(t.layer(3), vec![3]);
+        assert_eq!(t.layer(0), vec![0]);
+    }
+
+    #[test]
+    fn valid_labeling_checker() {
+        let g = generators::cycle(5);
+        let good = bfs_distances(&g, 1);
+        assert!(is_valid_bfs_labeling(&g, 1, &good));
+        let mut bad = good.clone();
+        bad[3] += 1;
+        assert!(!is_valid_bfs_labeling(&g, 1, &bad));
+        assert!(!is_valid_bfs_labeling(&g, 1, &good[..4]));
+    }
+}

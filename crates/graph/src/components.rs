@@ -1,0 +1,105 @@
+//! Connected components and related connectivity queries.
+
+use crate::bfs::multi_source_bfs;
+use crate::graph::{Graph, NodeId};
+use crate::INFINITY;
+
+/// Labels each vertex with a component id in `0..k` (ids are assigned in
+/// order of the smallest vertex in each component) and returns the labels
+/// and the number of components `k`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// `true` iff the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_nodes() == 0 {
+        return true;
+    }
+    let dist = multi_source_bfs(g, &[0]);
+    dist.iter().all(|&d| d != INFINITY)
+}
+
+/// Vertices of the component containing `v`.
+pub fn component_of(g: &Graph, v: NodeId) -> Vec<NodeId> {
+    let dist = multi_source_bfs(g, &[v]);
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != INFINITY)
+        .map(|(u, _)| u)
+        .collect()
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn largest_component_size(g: &Graph) -> usize {
+    let (comp, k) = connected_components(g);
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(10);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        assert!(is_connected(&g));
+        assert_eq!(largest_component_size(&g), 10);
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+        assert!(!is_connected(&g));
+        assert_eq!(largest_component_size(&g), 3);
+        assert_eq!(component_of(&g, 4), vec![3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&Graph::empty()));
+        let singleton = Graph::from_edges(1, &[]);
+        assert!(is_connected(&singleton));
+        assert_eq!(largest_component_size(&singleton), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = Graph::from_edges(4, &[(1, 2)]);
+        let (_, k) = connected_components(&g);
+        assert_eq!(k, 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sampling from `Exponential(β)` with the paper's conventions.
+//!
+//! In Section 2 each vertex samples `δ_v ∼ Exponential(β)` (mean `1/β`), and
+//! in the distributed implementation (Section 2.2) the start time is the
+//! *rounded* value `start_v = ⌈4 log(n)/β − δ_v⌉`, where `1/β` is always an
+//! integer. The functions here isolate that arithmetic so that both the
+//! centralized and the distributed clustering use bit-identical sampling.
+
+use rand::Rng;
+
+/// Samples `δ ∼ Exponential(β)` (rate `β`, mean `1/β`) by inversion.
+pub fn sample_exponential<R: Rng + ?Sized>(beta: f64, rng: &mut R) -> f64 {
+    assert!(beta > 0.0, "rate must be positive");
+    // gen::<f64>() ∈ [0, 1); use 1 − u ∈ (0, 1] to avoid ln(0).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / beta
+}
+
+/// The probability that an `Exponential(β)` sample exceeds `x ≥ 0`.
+pub fn exponential_tail(beta: f64, x: f64) -> f64 {
+    assert!(beta > 0.0 && x >= 0.0);
+    (-beta * x).exp()
+}
+
+/// The clustering horizon used by the paper: `T = 4·log(n)/β`, with natural
+/// logarithm and `1/β` an integer. With probability `1 − n^{-3}` every
+/// `δ_v < T`, i.e. every start time is positive.
+pub fn clustering_horizon(n: usize, beta: f64) -> f64 {
+    assert!(n >= 2);
+    4.0 * (n as f64).ln() / beta
+}
+
+/// The rounded start time `start_v = ⌈T − δ_v⌉` of Section 2.2, clamped to
+/// at least 1 (the paper conditions on all start times being positive, an
+/// event of probability `1 − 1/n³`; clamping makes the negligible bad event
+/// harmless instead of undefined).
+pub fn start_time(n: usize, beta: f64, delta: f64) -> u64 {
+    let t = clustering_horizon(n, beta) - delta;
+    let rounded = t.ceil();
+    if rounded < 1.0 {
+        1
+    } else {
+        rounded as u64
+    }
+}
+
+/// Draws the start times for all `n` vertices with a single RNG pass.
+pub fn sample_start_times<R: Rng + ?Sized>(n: usize, beta: f64, rng: &mut R) -> Vec<u64> {
+    (0..n)
+        .map(|_| start_time(n, beta, sample_exponential(beta, rng)))
+        .collect()
+}
+
+/// Number of Local-Broadcast rounds the distributed clustering runs for:
+/// `⌈4 log(n)/β⌉` (Lemma 2.5).
+pub fn clustering_rounds(n: usize, beta: f64) -> u64 {
+    clustering_horizon(n, beta).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exponential_mean_is_one_over_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &beta in &[0.125f64, 0.25, 1.0, 2.0] {
+            let k = 40_000;
+            let sum: f64 = (0..k).map(|_| sample_exponential(beta, &mut rng)).sum();
+            let mean = sum / k as f64;
+            let expected = 1.0 / beta;
+            assert!(
+                (mean - expected).abs() < 0.05 * expected.max(1.0),
+                "beta={beta}: mean {mean} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_samples_are_nonnegative() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(sample_exponential(0.5, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_matches_empirical_frequency() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let beta = 0.5;
+        let x = 2.0;
+        let k = 50_000;
+        let exceed = (0..k)
+            .filter(|_| sample_exponential(beta, &mut rng) > x)
+            .count() as f64
+            / k as f64;
+        let expected = exponential_tail(beta, x);
+        assert!((exceed - expected).abs() < 0.02, "{exceed} vs {expected}");
+    }
+
+    #[test]
+    fn start_times_are_positive_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 1000;
+        let beta = 0.25;
+        let times = sample_start_times(n, beta, &mut rng);
+        let horizon = clustering_rounds(n, beta);
+        assert_eq!(times.len(), n);
+        for &t in &times {
+            assert!(t >= 1);
+            assert!(t <= horizon, "start time {t} beyond horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn horizon_and_rounds_consistent() {
+        let n = 4096;
+        let beta = 0.125;
+        assert_eq!(
+            clustering_rounds(n, beta),
+            clustering_horizon(n, beta).ceil() as u64
+        );
+        assert!(clustering_horizon(n, beta) > 0.0);
+    }
+
+    #[test]
+    fn most_start_times_land_near_horizon() {
+        // δ has mean 1/β, the horizon is 4 ln(n)/β, so the bulk of vertices
+        // start within the last ~few/β rounds of the horizon.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 2000;
+        let beta = 0.25;
+        let horizon = clustering_rounds(n, beta);
+        let times = sample_start_times(n, beta, &mut rng);
+        let late = times
+            .iter()
+            .filter(|&&t| t as f64 >= horizon as f64 - 8.0 / beta)
+            .count();
+        assert!(late > n / 2, "only {late} of {n} start in the final window");
+    }
+}

@@ -1,0 +1,182 @@
+//! Layered broadcast over a BFS labelling.
+//!
+//! Once a BFS labelling is known (the output of the paper's main
+//! algorithm), disseminating a message from the source costs each device
+//! `O(1)` Local-Broadcast participations: devices at layer `i` listen only
+//! during call `i` and transmit only during call `i + 1`. This is exactly
+//! the "efficient dissemination via up-casts and down-casts" the paper's
+//! introduction motivates, and the primitive the diameter algorithms of
+//! Section 5.1 use for their layer-by-layer sweeps.
+
+use std::collections::{HashMap, HashSet};
+
+use radio_graph::Dist;
+
+use crate::lb::LbNetwork;
+use crate::message::Msg;
+
+/// Broadcasts `message` from the vertices labelled 0 in `labels` down the
+/// BFS layers. Returns, for every vertex, the message it received (`None`
+/// for unreachable vertices, i.e. those with label [`radio_graph::INFINITY`],
+/// or on Local-Broadcast delivery failure).
+///
+/// Each vertex participates in at most two Local-Broadcast calls.
+pub fn layered_broadcast(
+    net: &mut dyn LbNetwork,
+    labels: &[Dist],
+    message: &Msg,
+) -> Vec<Option<Msg>> {
+    down_sweep(net, labels, |v| {
+        if labels[v] == 0 {
+            Some(message.clone())
+        } else {
+            None
+        }
+    })
+}
+
+/// Generalized down sweep: vertices at layer 0 start out holding the message
+/// produced by `initial`; each subsequent layer receives from the previous
+/// one. Holders forward what they hold (or their own initial message).
+pub fn down_sweep<F>(net: &mut dyn LbNetwork, labels: &[Dist], initial: F) -> Vec<Option<Msg>>
+where
+    F: Fn(usize) -> Option<Msg>,
+{
+    let n = labels.len();
+    let mut holding: Vec<Option<Msg>> = (0..n).map(&initial).collect();
+    let max_layer = labels
+        .iter()
+        .copied()
+        .filter(|&d| d != radio_graph::INFINITY)
+        .max()
+        .unwrap_or(0);
+    for layer in 1..=max_layer {
+        let senders: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| labels[v] == layer - 1)
+            .filter_map(|v| holding[v].clone().map(|m| (v, m)))
+            .collect();
+        let receivers: HashSet<usize> = (0..n).filter(|&v| labels[v] == layer).collect();
+        if receivers.is_empty() {
+            continue;
+        }
+        let delivered = net.local_broadcast(&senders, &receivers);
+        for (v, m) in delivered {
+            if holding[v].is_none() {
+                holding[v] = Some(m);
+            }
+        }
+    }
+    holding
+}
+
+/// Generalized up sweep: some vertices hold messages; messages travel up the
+/// BFS layers towards layer 0, each vertex forwarding the first message it
+/// hears (or its own). Returns the message each layer-0 vertex ended up with.
+pub fn up_sweep(
+    net: &mut dyn LbNetwork,
+    labels: &[Dist],
+    holders: &HashMap<usize, Msg>,
+) -> HashMap<usize, Msg> {
+    let n = labels.len();
+    let mut holding: Vec<Option<Msg>> = vec![None; n];
+    for (&v, m) in holders {
+        holding[v] = Some(m.clone());
+    }
+    let max_layer = labels
+        .iter()
+        .copied()
+        .filter(|&d| d != radio_graph::INFINITY)
+        .max()
+        .unwrap_or(0);
+    for layer in (1..=max_layer).rev() {
+        let senders: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| labels[v] == layer)
+            .filter_map(|v| holding[v].clone().map(|m| (v, m)))
+            .collect();
+        let receivers: HashSet<usize> = (0..n).filter(|&v| labels[v] == layer - 1).collect();
+        if senders.is_empty() || receivers.is_empty() {
+            continue;
+        }
+        let delivered = net.local_broadcast(&senders, &receivers);
+        for (v, m) in delivered {
+            if holding[v].is_none() {
+                holding[v] = Some(m);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&v| labels[v] == 0)
+        .filter_map(|v| holding[v].clone().map(|m| (v, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lb::AbstractLbNetwork;
+    use radio_graph::bfs::bfs_distances;
+    use radio_graph::generators;
+
+    #[test]
+    fn broadcast_reaches_every_vertex_on_a_grid() {
+        let g = generators::grid(8, 8);
+        let labels = bfs_distances(&g, 0);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let out = layered_broadcast(&mut net, &labels, &Msg::words(&[123]));
+        for v in g.nodes() {
+            assert_eq!(out[v].as_ref().map(|m| m.word(0)), Some(123), "vertex {v}");
+        }
+        // Each vertex participates in at most 2 calls.
+        assert!(net.max_lb_energy() <= 2);
+    }
+
+    #[test]
+    fn broadcast_skips_unreachable_vertices() {
+        let g = radio_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let labels = bfs_distances(&g, 0);
+        let mut net = AbstractLbNetwork::new(g);
+        let out = layered_broadcast(&mut net, &labels, &Msg::words(&[9]));
+        assert!(out[2].is_some());
+        assert!(out[3].is_none());
+        assert!(out[4].is_none());
+    }
+
+    #[test]
+    fn up_sweep_delivers_a_deep_message_to_the_root() {
+        let g = generators::path(10);
+        let labels = bfs_distances(&g, 0);
+        let mut net = AbstractLbNetwork::new(g);
+        let holders: HashMap<usize, Msg> = [(9usize, Msg::words(&[55]))].into_iter().collect();
+        let at_root = up_sweep(&mut net, &labels, &holders);
+        assert_eq!(at_root.get(&0).map(|m| m.word(0)), Some(55));
+        // Relays pay O(1): two calls each (receive once, send once).
+        assert!(net.max_lb_energy() <= 2);
+    }
+
+    #[test]
+    fn up_sweep_with_no_holders_returns_nothing() {
+        let g = generators::path(5);
+        let labels = bfs_distances(&g, 0);
+        let mut net = AbstractLbNetwork::new(g);
+        let at_root = up_sweep(&mut net, &labels, &HashMap::new());
+        assert!(at_root.is_empty());
+    }
+
+    #[test]
+    fn down_sweep_merges_multiple_sources() {
+        let g = generators::path(9);
+        let labels = radio_graph::bfs::multi_source_bfs(&g, &[0, 8]);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let out = down_sweep(&mut net, &labels, |v| {
+            if labels[v] == 0 {
+                Some(Msg::words(&[v as u64]))
+            } else {
+                None
+            }
+        });
+        for v in g.nodes() {
+            let got = out[v].as_ref().map(|m| m.word(0)).expect("delivered");
+            assert!(got == 0 || got == 8);
+        }
+    }
+}

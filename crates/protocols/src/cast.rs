@@ -1,0 +1,323 @@
+//! Up-cast and Down-cast within clusters (paper, Lemma 3.1).
+//!
+//! * **Down-cast**: each participating cluster center holds a message that
+//!   must reach every member of its cluster.
+//! * **Up-cast**: some members hold messages; each participating cluster
+//!   center must receive a message from at least one of its holders.
+//!
+//! Both run in `D` stages (one per layer) of `ℓ` steps. In step `j` of a
+//! stage only the vertices whose cluster's index set `S_Cl` contains `j`
+//! participate; property (2) of Section 3 (some `j ∈ S_Cl(v)` is not in any
+//! neighbouring cluster's set) guarantees that in at least one step a vertex
+//! hears from its *own* cluster rather than from a neighbouring one.
+//! Messages are additionally tagged with the cluster index, so a vertex can
+//! discard same-step deliveries from foreign clusters — something a real
+//! device can do because cluster identifiers are part of every message.
+//!
+//! Per-vertex energy is `O(|S_Cl|) = O(log n)` Local-Broadcast
+//! participations per cast, as in Lemma 3.1.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::clustering::ClusterState;
+use crate::lb::LbNetwork;
+use crate::message::Msg;
+
+/// Wraps a payload with the cluster index it belongs to.
+fn wrap(cluster: usize, payload: &Msg) -> Msg {
+    let mut words = Vec::with_capacity(payload.len() + 1);
+    words.push(cluster as u64);
+    words.extend_from_slice(&payload.0);
+    Msg(words)
+}
+
+/// Splits a wrapped message into (cluster index, payload).
+fn unwrap(m: &Msg) -> (usize, Msg) {
+    (m.word(0) as usize, Msg(m.0[1..].to_vec()))
+}
+
+/// For each step `j ∈ [ℓ]`, the participating clusters whose `S_Cl`
+/// contains `j` (restricted to `clusters`).
+fn steps_to_clusters(state: &ClusterState, clusters: &[usize]) -> HashMap<usize, Vec<usize>> {
+    let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &c in clusters {
+        for &j in &state.s_sets[c] {
+            map.entry(j).or_default().push(c);
+        }
+    }
+    map
+}
+
+/// Down-cast: disseminates `messages[c]` from the center of each cluster `c`
+/// to all of its members.
+///
+/// Returns, for every node of the parent network, the payload it ended up
+/// holding (`None` for nodes of non-participating clusters, and for members
+/// the cast failed to reach, which happens only through Local-Broadcast
+/// delivery failures).
+pub fn down_cast(
+    parent: &mut dyn LbNetwork,
+    state: &ClusterState,
+    messages: &HashMap<usize, Msg>,
+) -> Vec<Option<Msg>> {
+    let n = state.num_nodes();
+    let mut holding: Vec<Option<Msg>> = vec![None; n];
+    if messages.is_empty() {
+        return holding;
+    }
+    let participating: Vec<usize> = messages.keys().copied().collect();
+    // Centers start out holding their message.
+    for &c in &participating {
+        holding[state.centers[c]] = Some(messages[&c].clone());
+    }
+    let step_map = steps_to_clusters(state, &participating);
+    let mut steps: Vec<usize> = step_map.keys().copied().collect();
+    steps.sort_unstable();
+
+    let max_stage = participating
+        .iter()
+        .map(|&c| state.radius(c))
+        .max()
+        .unwrap_or(0);
+    for stage in 1..=max_stage {
+        for &j in &steps {
+            let clusters = &step_map[&j];
+            let mut senders: HashMap<usize, Msg> = HashMap::new();
+            let mut receivers: HashSet<usize> = HashSet::new();
+            for &c in clusters {
+                for &v in state.members_at_layer(c, stage - 1) {
+                    if let Some(payload) = &holding[v] {
+                        senders.insert(v, wrap(c, payload));
+                    }
+                }
+                for &v in state.members_at_layer(c, stage) {
+                    receivers.insert(v);
+                }
+            }
+            if senders.is_empty() && receivers.is_empty() {
+                continue;
+            }
+            let delivered = parent.local_broadcast(&senders, &receivers);
+            for (v, m) in delivered {
+                let (c, payload) = unwrap(&m);
+                if c == state.cluster_of[v] && holding[v].is_none() {
+                    holding[v] = Some(payload);
+                }
+            }
+        }
+    }
+    holding
+}
+
+/// Up-cast: every cluster in `participating` whose members include at least
+/// one holder of a message (given in `messages`, keyed by node) delivers one
+/// such message to its center.
+///
+/// Returns the message received by each participating cluster's center
+/// (keyed by cluster index). Clusters with no holders are absent from the
+/// result.
+pub fn up_cast(
+    parent: &mut dyn LbNetwork,
+    state: &ClusterState,
+    participating: &HashSet<usize>,
+    messages: &HashMap<usize, Msg>,
+) -> HashMap<usize, Msg> {
+    let n = state.num_nodes();
+    let mut holding: Vec<Option<Msg>> = vec![None; n];
+    for (&v, m) in messages {
+        if participating.contains(&state.cluster_of[v]) {
+            holding[v] = Some(m.clone());
+        }
+    }
+    let clusters: Vec<usize> = participating.iter().copied().collect();
+    if clusters.is_empty() {
+        return HashMap::new();
+    }
+    let step_map = steps_to_clusters(state, &clusters);
+    let mut steps: Vec<usize> = step_map.keys().copied().collect();
+    steps.sort_unstable();
+
+    let max_stage = clusters.iter().map(|&c| state.radius(c)).max().unwrap_or(0);
+    // Stages walk from the deepest layer towards the center.
+    for stage in (1..=max_stage).rev() {
+        for &j in &steps {
+            let step_clusters = &step_map[&j];
+            let mut senders: HashMap<usize, Msg> = HashMap::new();
+            let mut receivers: HashSet<usize> = HashSet::new();
+            for &c in step_clusters {
+                for &v in state.members_at_layer(c, stage) {
+                    if let Some(payload) = &holding[v] {
+                        senders.insert(v, wrap(c, payload));
+                    }
+                }
+                for &v in state.members_at_layer(c, stage - 1) {
+                    receivers.insert(v);
+                }
+            }
+            if senders.is_empty() && receivers.is_empty() {
+                continue;
+            }
+            let delivered = parent.local_broadcast(&senders, &receivers);
+            for (v, m) in delivered {
+                let (c, payload) = unwrap(&m);
+                if c == state.cluster_of[v] && holding[v].is_none() {
+                    holding[v] = Some(payload);
+                }
+            }
+        }
+    }
+
+    let mut out = HashMap::new();
+    for &c in &clusters {
+        if let Some(m) = &holding[state.centers[c]] {
+            out.insert(c, m.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster_distributed, ClusteringConfig};
+    use crate::lb::AbstractLbNetwork;
+    use radio_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(
+        g: radio_graph::Graph,
+        inv_beta: u64,
+        seed: u64,
+    ) -> (AbstractLbNetwork, ClusterState) {
+        let mut net = AbstractLbNetwork::new(g);
+        let cfg = ClusteringConfig::new(inv_beta);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let state = cluster_distributed(&mut net, &cfg, &mut rng);
+        (net, state)
+    }
+
+    #[test]
+    fn down_cast_reaches_every_member() {
+        let g = generators::grid(10, 10);
+        let (mut net, state) = setup(g, 4, 1);
+        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
+            .map(|c| (c, Msg::words(&[1000 + c as u64])))
+            .collect();
+        let holding = down_cast(&mut net, &state, &messages);
+        for v in 0..state.num_nodes() {
+            let c = state.cluster_of[v];
+            assert_eq!(
+                holding[v].as_ref().map(|m| m.word(0)),
+                Some(1000 + c as u64),
+                "vertex {v} (cluster {c}, layer {}) missed the down-cast",
+                state.layer[v]
+            );
+        }
+    }
+
+    #[test]
+    fn down_cast_only_touches_participating_clusters() {
+        let g = generators::grid(8, 8);
+        let (mut net, state) = setup(g, 3, 2);
+        if state.num_clusters() < 2 {
+            return; // degenerate sample; other seeds cover the logic
+        }
+        let messages: HashMap<usize, Msg> = [(0usize, Msg::words(&[7]))].into_iter().collect();
+        let holding = down_cast(&mut net, &state, &messages);
+        for v in 0..state.num_nodes() {
+            if state.cluster_of[v] != 0 {
+                assert!(holding[v].is_none());
+            }
+        }
+        // Members of cluster 0 all hold the message.
+        for &v in &state.members(0) {
+            assert_eq!(holding[v].as_ref().map(|m| m.word(0)), Some(7));
+        }
+    }
+
+    #[test]
+    fn up_cast_delivers_some_holder_message_to_center() {
+        let g = generators::grid(10, 10);
+        let (mut net, state) = setup(g, 4, 3);
+        // Every vertex of every cluster holds a message encoding its id.
+        let messages: HashMap<usize, Msg> = (0..state.num_nodes())
+            .map(|v| (v, Msg::words(&[v as u64])))
+            .collect();
+        let participating: HashSet<usize> = (0..state.num_clusters()).collect();
+        let received = up_cast(&mut net, &state, &participating, &messages);
+        assert_eq!(received.len(), state.num_clusters());
+        for (c, m) in &received {
+            let holder = m.word(0) as usize;
+            assert_eq!(state.cluster_of[holder], *c, "cluster {c} got a foreign message");
+        }
+    }
+
+    #[test]
+    fn up_cast_with_single_holder_reaches_center() {
+        let g = generators::grid(9, 9);
+        let (mut net, state) = setup(g, 4, 4);
+        // Pick the deepest vertex of the largest cluster as the only holder.
+        let (c, _) = state
+            .cluster_sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .unwrap();
+        let deepest = *state
+            .members(c)
+            .iter()
+            .max_by_key(|&&v| state.layer[v])
+            .unwrap();
+        let messages: HashMap<usize, Msg> =
+            [(deepest, Msg::words(&[4242]))].into_iter().collect();
+        let participating: HashSet<usize> = [c].into_iter().collect();
+        let received = up_cast(&mut net, &state, &participating, &messages);
+        assert_eq!(received.get(&c).map(|m| m.word(0)), Some(4242));
+    }
+
+    #[test]
+    fn up_cast_ignores_holders_outside_participating_clusters() {
+        let g = generators::grid(8, 8);
+        let (mut net, state) = setup(g, 3, 5);
+        if state.num_clusters() < 2 {
+            return;
+        }
+        let outsider = state.centers[1];
+        let messages: HashMap<usize, Msg> =
+            [(outsider, Msg::words(&[5]))].into_iter().collect();
+        let participating: HashSet<usize> = [0usize].into_iter().collect();
+        let received = up_cast(&mut net, &state, &participating, &messages);
+        assert!(received.is_empty());
+    }
+
+    #[test]
+    fn cast_energy_per_vertex_is_logarithmic() {
+        // Lemma 3.1: each vertex participates in O(log n) Local-Broadcasts
+        // per cast. Compare against a generous constant times |S_Cl| bound.
+        let g = generators::grid(14, 14);
+        let (mut net, state) = setup(g, 4, 6);
+        let before: Vec<u64> = (0..state.num_nodes()).map(|v| net.lb_energy(v)).collect();
+        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
+            .map(|c| (c, Msg::words(&[c as u64])))
+            .collect();
+        let _ = down_cast(&mut net, &state, &messages);
+        for v in 0..state.num_nodes() {
+            let used = net.lb_energy(v) - before[v];
+            let s_len = state.s_sets[state.cluster_of[v]].len() as u64;
+            assert!(
+                used <= 2 * s_len + 2,
+                "vertex {v} used {used} participations for one down-cast (|S_Cl| = {s_len})"
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let payload = Msg::words(&[9, 8, 7]);
+        let wrapped = wrap(3, &payload);
+        let (c, p) = unwrap(&wrapped);
+        assert_eq!(c, 3);
+        assert_eq!(p, payload);
+    }
+}

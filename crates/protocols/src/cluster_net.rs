@@ -1,0 +1,294 @@
+//! Simulating a radio network on the cluster graph `G*` (paper, Lemma 3.2).
+//!
+//! [`VirtualClusterNet`] exposes the cluster graph as an [`LbNetwork`]
+//! whose nodes are clusters. A Local-Broadcast call on `G*` with sending
+//! clusters `S` and receiving clusters `R` is simulated by:
+//!
+//! 1. a Down-cast in every `C ∈ S`, so every member of `C` learns `m_C`;
+//! 2. one Local-Broadcast on the parent network with senders
+//!    `⋃_{C∈S} C` and receivers `⋃_{C'∈R} C'`;
+//! 3. an Up-cast in every `C ∈ R`, delivering one received message to the
+//!    cluster center.
+//!
+//! Because the result is itself an `LbNetwork`, any algorithm written
+//! against the abstraction — including the recursive BFS of Section 4 and
+//! the distributed clustering itself — runs unchanged on `G*`, at the cost
+//! of `O(log n)` extra Local-Broadcast participations per underlying device
+//! per virtual call, exactly the overhead the paper charges in
+//! equation (3).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cast::{down_cast, up_cast};
+use crate::clustering::ClusterState;
+use crate::lb::LbNetwork;
+use crate::ledger::LbLedger;
+use crate::message::Msg;
+
+/// A virtual radio network whose nodes are the clusters of a
+/// [`ClusterState`] over some parent [`LbNetwork`].
+pub struct VirtualClusterNet<'a> {
+    parent: &'a mut dyn LbNetwork,
+    state: &'a ClusterState,
+    ledger: LbLedger,
+    global_n: usize,
+}
+
+impl<'a> VirtualClusterNet<'a> {
+    /// Wraps `parent` with the clustering `state`.
+    pub fn new(parent: &'a mut dyn LbNetwork, state: &'a ClusterState) -> Self {
+        let global_n = parent.global_n();
+        let ledger = LbLedger::new(state.num_clusters());
+        VirtualClusterNet {
+            parent,
+            state,
+            ledger,
+            global_n,
+        }
+    }
+
+    /// The clustering this network is built on.
+    pub fn state(&self) -> &ClusterState {
+        self.state
+    }
+
+    /// The virtual ledger (energy/time of the *clusters*, in virtual LB
+    /// units). The parent's ledger keeps charging the real devices.
+    pub fn ledger(&self) -> &LbLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the parent network (e.g. to interleave real and
+    /// virtual phases, as the recursive BFS does).
+    pub fn parent_mut(&mut self) -> &mut dyn LbNetwork {
+        self.parent
+    }
+}
+
+impl LbNetwork for VirtualClusterNet<'_> {
+    fn num_nodes(&self) -> usize {
+        self.state.num_clusters()
+    }
+
+    fn global_n(&self) -> usize {
+        self.global_n
+    }
+
+    fn local_broadcast(
+        &mut self,
+        senders: &HashMap<usize, Msg>,
+        receivers: &HashSet<usize>,
+    ) -> HashMap<usize, Msg> {
+        self.ledger
+            .record_call(senders.keys().copied(), receivers.iter().copied());
+
+        // Step 1: Down-cast the senders' messages within their clusters.
+        let holding = down_cast(self.parent, self.state, senders);
+
+        // Step 2: one Local-Broadcast on the parent network between the
+        // member sets.
+        let mut parent_senders: HashMap<usize, Msg> = HashMap::new();
+        for &c in senders.keys() {
+            for v in self.state.members(c) {
+                if let Some(m) = &holding[v] {
+                    parent_senders.insert(v, m.clone());
+                }
+            }
+        }
+        let mut parent_receivers: HashSet<usize> = HashSet::new();
+        for &c in receivers {
+            if senders.contains_key(&c) {
+                continue;
+            }
+            for v in self.state.members(c) {
+                parent_receivers.insert(v);
+            }
+        }
+        let crossed = if parent_senders.is_empty() && parent_receivers.is_empty() {
+            HashMap::new()
+        } else {
+            self.parent
+                .local_broadcast(&parent_senders, &parent_receivers)
+        };
+
+        // Step 3: Up-cast within the receiving clusters.
+        let participating: HashSet<usize> = receivers
+            .iter()
+            .copied()
+            .filter(|c| !senders.contains_key(c))
+            .collect();
+        up_cast(self.parent, self.state, &participating, &crossed)
+    }
+
+    fn lb_energy(&self, v: usize) -> u64 {
+        self.ledger.participations(v)
+    }
+
+    fn lb_time(&self) -> u64 {
+        self.ledger.calls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::{cluster_distributed, ClusteringConfig};
+    use crate::lb::AbstractLbNetwork;
+    use radio_graph::bfs::bfs_distances;
+    use radio_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(
+        g: radio_graph::Graph,
+        inv_beta: u64,
+        seed: u64,
+    ) -> (AbstractLbNetwork, ClusterState) {
+        let mut net = AbstractLbNetwork::new(g);
+        let cfg = ClusteringConfig::new(inv_beta);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let state = cluster_distributed(&mut net, &cfg, &mut rng);
+        (net, state)
+    }
+
+    #[test]
+    fn virtual_lb_delivers_between_adjacent_clusters() {
+        let g = generators::grid(10, 10);
+        let (mut net, state) = setup(g.clone(), 3, 1);
+        let quotient = state.quotient_graph(&g);
+        if quotient.num_edges() == 0 {
+            return; // single cluster; nothing to test with this seed
+        }
+        let (a, b) = quotient.edges().next().unwrap();
+        let mut virt = VirtualClusterNet::new(&mut net, &state);
+        let senders: HashMap<usize, Msg> = [(a, Msg::words(&[77]))].into_iter().collect();
+        let receivers: HashSet<usize> = [b].into_iter().collect();
+        let out = virt.local_broadcast(&senders, &receivers);
+        assert_eq!(out.get(&b).map(|m| m.word(0)), Some(77));
+        assert_eq!(virt.lb_time(), 1);
+        assert_eq!(virt.lb_energy(a), 1);
+        assert_eq!(virt.lb_energy(b), 1);
+    }
+
+    #[test]
+    fn virtual_lb_does_not_deliver_between_non_adjacent_clusters() {
+        let g = generators::path(40);
+        let (mut net, state) = setup(g.clone(), 4, 2);
+        let quotient = state.quotient_graph(&g);
+        if quotient.num_nodes() < 3 {
+            return;
+        }
+        // Find two clusters at quotient distance ≥ 2.
+        let d = bfs_distances(&quotient, 0);
+        let Some(far) = (0..quotient.num_nodes()).find(|&c| d[c] >= 2 && d[c] != radio_graph::INFINITY)
+        else {
+            return;
+        };
+        let mut virt = VirtualClusterNet::new(&mut net, &state);
+        let senders: HashMap<usize, Msg> = [(0usize, Msg::words(&[5]))].into_iter().collect();
+        let receivers: HashSet<usize> = [far].into_iter().collect();
+        let out = virt.local_broadcast(&senders, &receivers);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn virtual_lb_matches_quotient_graph_semantics() {
+        // Flood one virtual LB from every cluster simultaneously and check
+        // that exactly the quotient-graph neighbours of a receiving cluster
+        // can be heard.
+        let g = generators::grid(9, 9);
+        let (mut net, state) = setup(g.clone(), 3, 3);
+        let quotient = state.quotient_graph(&g);
+        let k = quotient.num_nodes();
+        if k < 2 {
+            return;
+        }
+        for target in 0..k.min(4) {
+            let mut virt = VirtualClusterNet::new(&mut net, &state);
+            let senders: HashMap<usize, Msg> = (0..k)
+                .filter(|&c| c != target)
+                .map(|c| (c, Msg::words(&[c as u64])))
+                .collect();
+            let receivers: HashSet<usize> = [target].into_iter().collect();
+            let out = virt.local_broadcast(&senders, &receivers);
+            if quotient.degree(target) > 0 {
+                let heard = out.get(&target).expect("adjacent sender exists").word(0) as usize;
+                assert!(
+                    quotient.has_edge(target, heard),
+                    "cluster {target} heard non-neighbour {heard}"
+                );
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parent_devices_pay_logarithmic_overhead_per_virtual_call() {
+        // Lemma 3.2: each vertex of G participates in O(log n)
+        // Local-Broadcasts per simulated call on G*.
+        let g = generators::grid(12, 12);
+        let (mut net, state) = setup(g.clone(), 4, 4);
+        let quotient = state.quotient_graph(&g);
+        if quotient.num_edges() == 0 {
+            return;
+        }
+        let before: Vec<u64> = (0..g.num_nodes()).map(|v| net.lb_energy(v)).collect();
+        let (a, b) = quotient.edges().next().unwrap();
+        {
+            let mut virt = VirtualClusterNet::new(&mut net, &state);
+            let senders: HashMap<usize, Msg> = [(a, Msg::words(&[1]))].into_iter().collect();
+            let receivers: HashSet<usize> = [b].into_iter().collect();
+            let _ = virt.local_broadcast(&senders, &receivers);
+        }
+        let n = g.num_nodes() as f64;
+        let budget = (6.0 * n.ln()).ceil() as u64 + 6;
+        for v in 0..g.num_nodes() {
+            let used = net.lb_energy(v) - before[v];
+            assert!(
+                used <= budget,
+                "vertex {v} paid {used} parent participations for one virtual call (budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_can_run_recursively_on_the_virtual_network() {
+        // The key compositional property behind Recursive-BFS: the virtual
+        // cluster network is itself an LbNetwork, so the distributed MPX
+        // clustering runs on it unchanged.
+        let g = generators::grid(12, 12);
+        let (mut net, state) = setup(g.clone(), 3, 5);
+        if state.num_clusters() < 4 {
+            return;
+        }
+        let mut virt = VirtualClusterNet::new(&mut net, &state);
+        let cfg = ClusteringConfig::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let second_level = cluster_distributed(&mut virt, &cfg, &mut rng);
+        second_level.validate().expect("second-level clustering is valid");
+        assert_eq!(second_level.num_nodes(), state.num_clusters());
+        assert!(second_level.num_clusters() <= state.num_clusters());
+        // Second-level clusters must be connected in the quotient graph.
+        let quotient = state.quotient_graph(&g);
+        for c in 0..second_level.num_clusters() {
+            let members: std::collections::HashSet<_> =
+                second_level.members(c).into_iter().collect();
+            let active: Vec<bool> = (0..quotient.num_nodes())
+                .map(|v| members.contains(&v))
+                .collect();
+            let dist = radio_graph::bfs::restricted_bfs(
+                &quotient,
+                &[second_level.centers[c]],
+                &active,
+            );
+            for &m in &members {
+                assert_ne!(
+                    dist[m],
+                    radio_graph::INFINITY,
+                    "second-level cluster {c} is disconnected in G*"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The Local-Broadcast abstraction and its two back-ends.
+//!
+//! **Local-Broadcast** (paper, Section 2.2): given disjoint sets `S`
+//! (senders, each holding a message) and `R` (receivers), every `v ∈ R`
+//! with `N(v) ∩ S ≠ ∅` receives some message from a neighbour in `S` with
+//! probability `1 − f`.
+//!
+//! The trait [`LbNetwork`] is deliberately object-safe: the recursive BFS
+//! builds virtual networks on top of virtual networks to an arbitrary,
+//! runtime-chosen depth, so composition happens through `&mut dyn
+//! LbNetwork` rather than through generics.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use radio_graph::Graph;
+use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
+
+use crate::ledger::LbLedger;
+use crate::message::Msg;
+
+/// A network on which Local-Broadcast can be invoked.
+///
+/// Node identifiers are `0..num_nodes()`. `global_n()` is the common upper
+/// bound "n" that all devices agree on (used for `w.h.p.` parameters); for
+/// virtual cluster networks it remains the size of the *original* network,
+/// as in the paper.
+pub trait LbNetwork {
+    /// Number of nodes in this (possibly virtual) network.
+    fn num_nodes(&self) -> usize;
+
+    /// The globally agreed upper bound `n ≥ |V|` of the underlying radio
+    /// network; all polylogarithmic parameters are functions of this.
+    fn global_n(&self) -> usize;
+
+    /// Executes one Local-Broadcast with sender messages `senders` and
+    /// receiver set `receivers`. Returns, for each receiver that heard a
+    /// message, the message it heard.
+    fn local_broadcast(
+        &mut self,
+        senders: &HashMap<usize, Msg>,
+        receivers: &HashSet<usize>,
+    ) -> HashMap<usize, Msg>;
+
+    /// Energy of node `v` in Local-Broadcast units (number of calls on this
+    /// network in which `v` participated).
+    fn lb_energy(&self, v: usize) -> u64;
+
+    /// Time in Local-Broadcast units (number of calls on this network).
+    fn lb_time(&self) -> u64;
+
+    /// Maximum per-node energy in Local-Broadcast units.
+    fn max_lb_energy(&self) -> u64 {
+        (0..self.num_nodes()).map(|v| self.lb_energy(v)).max().unwrap_or(0)
+    }
+}
+
+/// The accounting back-end used by the paper's analysis: each call costs one
+/// unit of time, each participant one unit of energy, and delivery follows
+/// the Local-Broadcast specification exactly (optionally with an injected
+/// failure probability `f` per receiver).
+#[derive(Clone, Debug)]
+pub struct AbstractLbNetwork {
+    graph: Graph,
+    global_n: usize,
+    ledger: LbLedger,
+    failure_prob: f64,
+    rng: ChaCha8Rng,
+}
+
+impl AbstractLbNetwork {
+    /// A perfectly reliable abstract network over `graph`.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.num_nodes();
+        AbstractLbNetwork {
+            graph,
+            global_n: n.max(2),
+            ledger: LbLedger::new(n),
+            failure_prob: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }
+    }
+
+    /// Sets the per-receiver delivery failure probability `f` and the RNG
+    /// seed driving both failures and tie-breaking among senders.
+    pub fn with_failures(mut self, failure_prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&failure_prob));
+        self.failure_prob = failure_prob;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self
+    }
+
+    /// Overrides the globally known upper bound `n` (defaults to `|V|`).
+    pub fn with_global_n(mut self, n: usize) -> Self {
+        assert!(n >= self.graph.num_nodes());
+        self.global_n = n.max(2);
+        self
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The full ledger.
+    pub fn ledger(&self) -> &LbLedger {
+        &self.ledger
+    }
+}
+
+impl LbNetwork for AbstractLbNetwork {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn global_n(&self) -> usize {
+        self.global_n
+    }
+
+    fn local_broadcast(
+        &mut self,
+        senders: &HashMap<usize, Msg>,
+        receivers: &HashSet<usize>,
+    ) -> HashMap<usize, Msg> {
+        self.ledger
+            .record_call(senders.keys().copied(), receivers.iter().copied());
+        let mut delivered = HashMap::new();
+        for &r in receivers {
+            if senders.contains_key(&r) {
+                // Sender/receiver sets are required to be disjoint; a vertex
+                // listed in both acts as a sender only.
+                continue;
+            }
+            // Collect sending neighbours.
+            let sending: Vec<usize> = self
+                .graph
+                .neighbors(r)
+                .iter()
+                .copied()
+                .filter(|u| senders.contains_key(u))
+                .collect();
+            if sending.is_empty() {
+                continue;
+            }
+            if self.failure_prob > 0.0 && self.rng.gen_bool(self.failure_prob) {
+                continue;
+            }
+            // The specification only promises *some* neighbour's message; we
+            // pick uniformly to avoid accidental reliance on a tie-break.
+            let pick = sending[self.rng.gen_range(0..sending.len())];
+            delivered.insert(r, senders[&pick].clone());
+        }
+        delivered
+    }
+
+    fn lb_energy(&self, v: usize) -> u64 {
+        self.ledger.participations(v)
+    }
+
+    fn lb_time(&self) -> u64 {
+        self.ledger.calls()
+    }
+}
+
+/// The physical back-end: every Local-Broadcast call expands into Decay
+/// slots (Lemma 2.4) on the `radio-sim` channel, so collisions and per-slot
+/// energy are fully modelled.
+#[derive(Clone, Debug)]
+pub struct PhysicalLbNetwork {
+    net: RadioNetwork<Msg>,
+    global_n: usize,
+    decay: DecayParams,
+    ledger: LbLedger,
+    rng: ChaCha8Rng,
+}
+
+impl PhysicalLbNetwork {
+    /// Creates a physical network over `graph`, with Decay parameters
+    /// derived from the graph (Δ = max degree, `f = n^{-3}`), seeded by
+    /// `seed`.
+    pub fn new(graph: Graph, seed: u64) -> Self {
+        let n = graph.num_nodes();
+        let decay = DecayParams::for_network(n.max(2), graph.max_degree().max(1));
+        PhysicalLbNetwork {
+            net: RadioNetwork::new(graph),
+            global_n: n.max(2),
+            decay,
+            ledger: LbLedger::new(n),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the Decay parameters.
+    pub fn with_decay_params(mut self, decay: DecayParams) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// The Decay parameters in force.
+    pub fn decay_params(&self) -> DecayParams {
+        self.decay
+    }
+
+    /// The underlying physical simulator (per-slot energy, elapsed slots).
+    pub fn radio(&self) -> &RadioNetwork<Msg> {
+        &self.net
+    }
+
+    /// Per-node *physical* energy (slots listening or transmitting), as
+    /// opposed to the LB-unit energy of [`LbNetwork::lb_energy`].
+    pub fn physical_energy(&self, v: usize) -> u64 {
+        self.net.energy(v)
+    }
+
+    /// Maximum per-node physical energy.
+    pub fn max_physical_energy(&self) -> u64 {
+        self.net.max_energy()
+    }
+
+    /// Total elapsed physical slots.
+    pub fn physical_slots(&self) -> u64 {
+        self.net.slots()
+    }
+
+    /// The LB ledger.
+    pub fn ledger(&self) -> &LbLedger {
+        &self.ledger
+    }
+}
+
+impl LbNetwork for PhysicalLbNetwork {
+    fn num_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
+
+    fn global_n(&self) -> usize {
+        self.global_n
+    }
+
+    fn local_broadcast(
+        &mut self,
+        senders: &HashMap<usize, Msg>,
+        receivers: &HashSet<usize>,
+    ) -> HashMap<usize, Msg> {
+        self.ledger
+            .record_call(senders.keys().copied(), receivers.iter().copied());
+        let outcome =
+            decay_local_broadcast(&mut self.net, senders, receivers, self.decay, &mut self.rng);
+        outcome.received
+    }
+
+    fn lb_energy(&self, v: usize) -> u64 {
+        self.ledger.participations(v)
+    }
+
+    fn lb_time(&self) -> u64 {
+        self.ledger.calls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators;
+
+    fn msg(x: u64) -> Msg {
+        Msg::words(&[x])
+    }
+
+    #[test]
+    fn abstract_delivery_follows_spec() {
+        let g = generators::path(4); // 0-1-2-3
+        let mut net = AbstractLbNetwork::new(g);
+        let senders: HashMap<_, _> = [(0, msg(10)), (3, msg(30))].into_iter().collect();
+        let receivers: HashSet<_> = [1, 2].into_iter().collect();
+        let out = net.local_broadcast(&senders, &receivers);
+        assert_eq!(out[&1], msg(10));
+        assert_eq!(out[&2], msg(30));
+        assert_eq!(net.lb_time(), 1);
+        assert_eq!(net.lb_energy(0), 1);
+        assert_eq!(net.lb_energy(1), 1);
+        assert_eq!(net.max_lb_energy(), 1);
+    }
+
+    #[test]
+    fn abstract_receiver_without_sending_neighbor_gets_nothing() {
+        let g = generators::path(4);
+        let mut net = AbstractLbNetwork::new(g);
+        let senders: HashMap<_, _> = [(0, msg(1))].into_iter().collect();
+        let receivers: HashSet<_> = [3].into_iter().collect();
+        let out = net.local_broadcast(&senders, &receivers);
+        assert!(out.is_empty());
+        // The hopeless receiver still pays for participating.
+        assert_eq!(net.lb_energy(3), 1);
+    }
+
+    #[test]
+    fn abstract_receiver_with_multiple_senders_hears_one_of_them() {
+        let g = generators::star(5);
+        let mut net = AbstractLbNetwork::new(g).with_failures(0.0, 7);
+        let senders: HashMap<_, _> = (1..5).map(|v| (v, msg(v as u64))).collect();
+        let receivers: HashSet<_> = [0].into_iter().collect();
+        let out = net.local_broadcast(&senders, &receivers);
+        let heard = out[&0].word(0);
+        assert!((1..5).contains(&(heard as usize)));
+    }
+
+    #[test]
+    fn abstract_failures_do_fail_sometimes() {
+        let g = generators::path(2);
+        let mut net = AbstractLbNetwork::new(g).with_failures(0.5, 3);
+        let senders: HashMap<_, _> = [(0, msg(1))].into_iter().collect();
+        let receivers: HashSet<_> = [1].into_iter().collect();
+        let mut hits = 0;
+        for _ in 0..200 {
+            if !net.local_broadcast(&senders, &receivers).is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 50 && hits < 150, "hits = {hits}");
+    }
+
+    #[test]
+    fn sender_listed_as_receiver_is_ignored_as_receiver() {
+        let g = generators::path(3);
+        let mut net = AbstractLbNetwork::new(g);
+        let senders: HashMap<_, _> = [(0, msg(1)), (1, msg(2))].into_iter().collect();
+        let receivers: HashSet<_> = [1, 2].into_iter().collect();
+        let out = net.local_broadcast(&senders, &receivers);
+        assert!(!out.contains_key(&1));
+        assert_eq!(out[&2], msg(2));
+    }
+
+    #[test]
+    fn physical_backend_delivers_and_charges_slots() {
+        let g = generators::path(3);
+        let mut net = PhysicalLbNetwork::new(g, 42);
+        let senders: HashMap<_, _> = [(0, msg(9))].into_iter().collect();
+        let receivers: HashSet<_> = [1, 2].into_iter().collect();
+        let out = net.local_broadcast(&senders, &receivers);
+        assert_eq!(out.get(&1), Some(&msg(9)));
+        assert_eq!(out.get(&2), None);
+        assert_eq!(net.lb_time(), 1);
+        assert_eq!(net.lb_energy(0), 1);
+        // Physical energy is the Lemma 2.4 expansion: strictly more than one
+        // slot for listeners without a sending neighbour.
+        assert!(net.physical_energy(2) > 1);
+        assert!(net.physical_slots() as usize >= net.decay_params().total_slots());
+    }
+
+    #[test]
+    fn physical_and_abstract_agree_on_lb_unit_accounting() {
+        let g = generators::grid(3, 3);
+        let senders: HashMap<_, _> = [(0, msg(1)), (4, msg(2))].into_iter().collect();
+        let receivers: HashSet<_> = [1, 3, 5, 7].into_iter().collect();
+        let mut a = AbstractLbNetwork::new(g.clone());
+        let mut p = PhysicalLbNetwork::new(g, 1);
+        a.local_broadcast(&senders, &receivers);
+        p.local_broadcast(&senders, &receivers);
+        for v in 0..9 {
+            assert_eq!(a.lb_energy(v), p.lb_energy(v), "node {v}");
+        }
+        assert_eq!(a.lb_time(), p.lb_time());
+    }
+}

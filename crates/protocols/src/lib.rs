@@ -1,0 +1,43 @@
+//! Local-Broadcast-level protocol layer (paper, Sections 2.2 and 3).
+//!
+//! The paper analyses all of its algorithms in units of **calls to
+//! Local-Broadcast**: "calling Local-Broadcast takes one unit of time, and
+//! every participating vertex expends one unit of energy" (Section 4.3).
+//! This crate provides that abstraction ([`LbNetwork`]) with two
+//! interchangeable back-ends:
+//!
+//! * [`AbstractLbNetwork`] — one unit of time/energy per participation, the
+//!   exact accounting of Theorem 4.1; optionally injects delivery failures.
+//! * [`PhysicalLbNetwork`] — every call expands into real Decay slots on the
+//!   `radio-sim` channel (Lemma 2.4), so per-slot energy and collisions are
+//!   fully modelled.
+//!
+//! On top of the abstraction it implements the machinery of Sections 2.2–3:
+//!
+//! * [`clustering`] — the distributed MPX clustering of Lemma 2.5;
+//! * [`cast`] — the Up-cast and Down-cast primitives of Lemma 3.1;
+//! * [`cluster_net`] — the simulation of Local-Broadcast on the cluster
+//!   graph `G*` (Lemma 3.2), itself an [`LbNetwork`], which is what lets the
+//!   recursive BFS of Section 4 call itself on `G*`;
+//! * [`aggregate`] / [`broadcast`] / [`leader`] — the Find-Minimum /
+//!   Find-Maximum, layered broadcast, and leader-election subroutines used
+//!   by the diameter algorithms of Section 5.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod broadcast;
+pub mod cast;
+pub mod cluster_net;
+pub mod clustering;
+pub mod lb;
+pub mod leader;
+pub mod ledger;
+pub mod message;
+
+pub use cluster_net::VirtualClusterNet;
+pub use clustering::{cluster_distributed, ClusterState, ClusteringConfig};
+pub use lb::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
+pub use ledger::LbLedger;
+pub use message::Msg;

@@ -1,0 +1,93 @@
+//! The message type exchanged by all Local-Broadcast-level protocols.
+//!
+//! Every protocol in this repository encodes its payload as a short vector
+//! of 64-bit words (`Msg`). The paper's algorithms only ever need to carry
+//! `O(1)` identifiers, layer numbers, and distance labels per message, i.e.
+//! `O(log n)` bits, which the tests check through [`Msg::bit_size`].
+
+use radio_sim::Payload;
+use serde::{Deserialize, Serialize};
+
+/// A Local-Broadcast payload: a short vector of words.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Msg(pub Vec<u64>);
+
+impl Msg {
+    /// An empty message (used by pure "beacon"/existence signals).
+    pub fn empty() -> Self {
+        Msg(Vec::new())
+    }
+
+    /// A message with the given words.
+    pub fn words(words: &[u64]) -> Self {
+        Msg(words.to_vec())
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the message carries no words.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Word at position `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        self.0.get(i).copied()
+    }
+
+    /// Word at position `i`; panics if absent (protocol decoding errors are
+    /// programming errors, not runtime conditions).
+    pub fn word(&self, i: usize) -> u64 {
+        self.0[i]
+    }
+
+    /// Size in bits when transmitted.
+    pub fn bit_size(&self) -> usize {
+        64 * self.0.len()
+    }
+}
+
+impl Payload for Msg {
+    fn bit_size(&self) -> usize {
+        Msg::bit_size(self)
+    }
+}
+
+impl From<Vec<u64>> for Msg {
+    fn from(v: Vec<u64>) -> Self {
+        Msg(v)
+    }
+}
+
+impl FromIterator<u64> for Msg {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Msg(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Msg::words(&[3, 7, 11]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.word(1), 7);
+        assert_eq!(m.get(2), Some(11));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.bit_size(), 192);
+        assert!(Msg::empty().is_empty());
+        assert_eq!(Msg::empty().bit_size(), 0);
+    }
+
+    #[test]
+    fn from_and_collect() {
+        let m: Msg = (0..4u64).collect();
+        assert_eq!(m, Msg::from(vec![0, 1, 2, 3]));
+    }
+}

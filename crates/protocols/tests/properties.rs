@@ -1,0 +1,130 @@
+//! Property-based tests for the Local-Broadcast layer: the delivery
+//! specification of the abstract backend, the ledger arithmetic, and the
+//! structural guarantees of the distributed clustering and the casts on
+//! randomly generated connected graphs.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use radio_graph::{generators, Graph};
+use radio_protocols::cast::{down_cast, up_cast};
+use radio_protocols::{
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
+};
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..30, any::<u64>(), proptest::collection::vec((0usize..30, 0usize..30), 0..40)).prop_map(
+        |(n, seed, extra)| {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let tree = generators::random_tree(n, &mut rng);
+            let mut edges: Vec<(usize, usize)> = tree.edges().collect();
+            for (u, v) in extra {
+                if u % n != v % n {
+                    edges.push((u % n, v % n));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_broadcast_delivery_matches_spec(
+        g in arb_connected_graph(),
+        sender_bits in proptest::collection::vec(any::<bool>(), 30),
+        receiver_bits in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let n = g.num_nodes();
+        let senders: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| sender_bits[v % sender_bits.len()])
+            .map(|v| (v, Msg::words(&[v as u64])))
+            .collect();
+        let receivers: HashSet<usize> = (0..n)
+            .filter(|&v| receiver_bits[v % receiver_bits.len()] && !senders.contains_key(&v))
+            .collect();
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let out = net.local_broadcast(&senders, &receivers);
+        for &r in &receivers {
+            let has_sending_neighbor = g.neighbors(r).iter().any(|u| senders.contains_key(u));
+            match out.get(&r) {
+                Some(m) => {
+                    // The message must come from an actual sending neighbour.
+                    let from = m.word(0) as usize;
+                    prop_assert!(g.has_edge(r, from));
+                    prop_assert!(senders.contains_key(&from));
+                }
+                None => prop_assert!(!has_sending_neighbor, "receiver {} missed a delivery", r),
+            }
+        }
+        // Non-receivers never appear in the output.
+        for v in out.keys() {
+            prop_assert!(receivers.contains(v));
+        }
+        // Ledger: exactly one call, every participant charged exactly once.
+        prop_assert_eq!(net.lb_time(), 1);
+        for v in 0..n {
+            let expected = u64::from(senders.contains_key(&v) || receivers.contains(&v));
+            prop_assert_eq!(net.lb_energy(v), expected);
+        }
+    }
+
+    #[test]
+    fn clustering_partitions_any_connected_graph(g in arb_connected_graph(), seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let cfg = ClusteringConfig::new(3);
+        let state = cluster_distributed(&mut net, &cfg, &mut rng);
+        prop_assert!(state.validate().is_ok(), "{:?}", state.validate());
+        prop_assert_eq!(state.cluster_sizes().iter().sum::<usize>(), g.num_nodes());
+        // Energy and time never exceed the Lemma 2.5 round budget.
+        prop_assert!(net.lb_time() <= cfg.rounds(net.global_n()));
+        prop_assert!(net.max_lb_energy() <= net.lb_time());
+        // Quotient graph is a well-formed simple graph on the clusters.
+        let q = state.quotient_graph(&g);
+        prop_assert_eq!(q.num_nodes(), state.num_clusters());
+    }
+
+    #[test]
+    fn down_cast_then_up_cast_roundtrip(g in arb_connected_graph(), seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut net = AbstractLbNetwork::new(g.clone());
+        let cfg = ClusteringConfig::new(3);
+        let state = cluster_distributed(&mut net, &cfg, &mut rng);
+
+        // Down-cast a per-cluster token to every member...
+        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
+            .map(|c| (c, Msg::words(&[7000 + c as u64])))
+            .collect();
+        let holding = down_cast(&mut net, &state, &messages);
+        for v in 0..g.num_nodes() {
+            let c = state.cluster_of[v];
+            prop_assert_eq!(
+                holding[v].as_ref().map(|m| m.word(0)),
+                Some(7000 + c as u64),
+                "vertex {} missed its cluster's down-cast", v
+            );
+        }
+        // ...then up-cast it back: every center must recover its own token.
+        let holders: HashMap<usize, Msg> = holding
+            .iter()
+            .enumerate()
+            .filter_map(|(v, m)| m.clone().map(|m| (v, m)))
+            .collect();
+        let participating: HashSet<usize> = (0..state.num_clusters()).collect();
+        let at_centers = up_cast(&mut net, &state, &participating, &holders);
+        for c in 0..state.num_clusters() {
+            prop_assert_eq!(
+                at_centers.get(&c).map(|m| m.word(0)),
+                Some(7000 + c as u64),
+                "cluster {} center got the wrong token back", c
+            );
+        }
+    }
+}

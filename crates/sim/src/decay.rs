@@ -1,0 +1,280 @@
+//! The Decay-based Local-Broadcast primitive (paper, Lemma 2.4).
+//!
+//! **Local-Broadcast**: given disjoint vertex sets `S` (senders, each
+//! holding a message) and `R` (receivers), guarantee that every `v ∈ R`
+//! with at least one neighbour in `S` receives *some* neighbour's message
+//! with probability `1 − f`.
+//!
+//! The implementation follows the proof of Lemma 2.4: the protocol runs
+//! `O(log f⁻¹)` iterations of `⌈log₂ Δ⌉` slots; in each iteration every
+//! sender picks a slot `X_u ∈ [1, log Δ]` with `P(X_u = t) ≥ 2^{−t}` and
+//! transmits only in that slot. If the number of senders adjacent to a
+//! receiver is in `[2^{t−1}, 2^t]`, then in slot `t` of every iteration the
+//! receiver hears a message with constant probability. Receivers stop
+//! listening as soon as they have heard something (this is what gives the
+//! `O(log Δ)` expected energy for receivers with a sending neighbour);
+//! receivers with no sending neighbour listen through all
+//! `O(log Δ · log f⁻¹)` slots.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use radio_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{Action, Feedback, Payload};
+use crate::network::RadioNetwork;
+
+/// Parameters of one Local-Broadcast execution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecayParams {
+    /// An upper bound `Δ` on the maximum degree (the paper allows any bound
+    /// `Δ ≤ n − 1`; using the true maximum degree is always safe).
+    pub max_degree: usize,
+    /// Target failure probability `f` per receiver with a sending
+    /// neighbour. The paper always uses `f = 1/poly(n)`.
+    pub failure_prob: f64,
+}
+
+impl DecayParams {
+    /// Conventional parameters: `Δ` = the graph's maximum degree and
+    /// `f = n^{-3}`.
+    pub fn for_network(n: usize, max_degree: usize) -> Self {
+        let n = n.max(2) as f64;
+        DecayParams {
+            max_degree: max_degree.max(1),
+            failure_prob: n.powi(-3),
+        }
+    }
+
+    /// Number of slots per decay iteration: `⌈log₂ Δ⌉ + 1` (at least 1), so
+    /// that every sender-count in `[1, Δ]` has a matching slot.
+    pub fn slots_per_iteration(&self) -> usize {
+        ((self.max_degree.max(1) as f64).log2().ceil() as usize) + 1
+    }
+
+    /// Number of iterations: `⌈c · ln(1/f)⌉` with the constant calibrated to
+    /// the constant per-iteration success probability of the decay step
+    /// (each iteration succeeds with probability at least ≈ 1/(2e) for a
+    /// receiver with a sending neighbour).
+    pub fn iterations(&self) -> usize {
+        let f = self.failure_prob.clamp(1e-18, 0.5);
+        // Per-iteration success ≥ p0; need (1 - p0)^k ≤ f.
+        let p0 = 0.18_f64;
+        ((1.0 / f).ln() / (1.0 / (1.0 - p0)).ln()).ceil() as usize
+    }
+
+    /// Total number of slots one Local-Broadcast occupies.
+    pub fn total_slots(&self) -> usize {
+        self.slots_per_iteration() * self.iterations()
+    }
+}
+
+/// Result of one Local-Broadcast execution on the physical simulator.
+#[derive(Clone, Debug)]
+pub struct DecayOutcome<M> {
+    /// For each receiver that heard a message, the message it heard first.
+    pub received: HashMap<NodeId, M>,
+    /// Number of channel slots the call occupied.
+    pub slots_used: u64,
+}
+
+/// Samples the decay slot: `P(X = t) = 2^{−t}` for `t < L`, with the
+/// remaining mass on `t = L` (so `P(X = t) ≥ 2^{−t}` for every `t ≤ L`,
+/// matching the lemma's requirement).
+pub fn sample_decay_slot<R: Rng + ?Sized>(levels: usize, rng: &mut R) -> usize {
+    debug_assert!(levels >= 1);
+    for t in 1..levels {
+        if rng.gen_bool(0.5) {
+            return t;
+        }
+    }
+    levels
+}
+
+/// Executes one Local-Broadcast on the physical radio network.
+///
+/// `senders` maps each sender to its message; `receivers` is the receiver
+/// set. The two sets should be disjoint (senders found in `receivers` are
+/// ignored as receivers). Devices outside both sets idle and spend no
+/// energy.
+pub fn decay_local_broadcast<M: Payload, R: Rng + ?Sized>(
+    net: &mut RadioNetwork<M>,
+    senders: &HashMap<NodeId, M>,
+    receivers: &HashSet<NodeId>,
+    params: DecayParams,
+    rng: &mut R,
+) -> DecayOutcome<M> {
+    let levels = params.slots_per_iteration();
+    let iterations = params.iterations();
+    let mut received: HashMap<NodeId, M> = HashMap::new();
+    let mut slots_used = 0u64;
+
+    for _ in 0..iterations {
+        // Each sender independently picks its transmission slot for this
+        // iteration.
+        let choices: HashMap<NodeId, usize> = senders
+            .keys()
+            .map(|&u| (u, sample_decay_slot(levels, rng)))
+            .collect();
+        for slot in 1..=levels {
+            let mut actions: HashMap<NodeId, Action<M>> = HashMap::new();
+            for (&u, &t) in &choices {
+                if t == slot {
+                    actions.insert(u, Action::Transmit(senders[&u].clone()));
+                }
+            }
+            for &v in receivers {
+                // A receiver that has already heard something sleeps for the
+                // rest of the call (Lemma 2.4's expected-energy saving).
+                if !received.contains_key(&v) && !senders.contains_key(&v) {
+                    actions.insert(v, Action::Listen);
+                }
+            }
+            let feedback = net.step(&actions);
+            slots_used += 1;
+            for (v, fb) in feedback {
+                if let Feedback::Received(m) = fb {
+                    received.entry(v).or_insert(m);
+                }
+            }
+        }
+    }
+
+    DecayOutcome {
+        received,
+        slots_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn decay_slot_distribution_is_geometric_ish() {
+        let mut r = rng(1);
+        let levels = 6;
+        let k = 60_000;
+        let mut counts = vec![0usize; levels + 1];
+        for _ in 0..k {
+            counts[sample_decay_slot(levels, &mut r)] += 1;
+        }
+        // P(1) ≈ 1/2, P(2) ≈ 1/4, and P(t) ≥ 2^-t for all t.
+        assert!((counts[1] as f64 / k as f64 - 0.5).abs() < 0.02);
+        assert!((counts[2] as f64 / k as f64 - 0.25).abs() < 0.02);
+        for t in 1..=levels {
+            let p = counts[t] as f64 / k as f64;
+            assert!(p >= 0.9 * 2f64.powi(-(t as i32)), "slot {t} too rare: {p}");
+        }
+    }
+
+    #[test]
+    fn single_sender_single_receiver_always_delivers() {
+        let g = generators::path(2);
+        let mut r = rng(2);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let params = DecayParams::for_network(2, 1);
+        let senders: HashMap<_, _> = [(0usize, 99u64)].into_iter().collect();
+        let receivers: HashSet<_> = [1usize].into_iter().collect();
+        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+        assert_eq!(out.received.get(&1), Some(&99));
+    }
+
+    #[test]
+    fn receiver_with_no_sending_neighbor_hears_nothing_and_pays_full_price() {
+        // Path 0-1-2-3: sender 0, receivers {1, 3}. Vertex 3 is not adjacent
+        // to 0, hears nothing, and listens for every slot.
+        let g = generators::path(4);
+        let mut r = rng(3);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let params = DecayParams {
+            max_degree: 2,
+            failure_prob: 1e-6,
+        };
+        let senders: HashMap<_, _> = [(0usize, 7u64)].into_iter().collect();
+        let receivers: HashSet<_> = [1usize, 3usize].into_iter().collect();
+        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+        assert_eq!(out.received.get(&1), Some(&7));
+        assert_eq!(out.received.get(&3), None);
+        assert_eq!(net.energy(3), params.total_slots() as u64);
+        // The successful receiver stops early: strictly less energy than the
+        // hopeless one (with overwhelming probability for these many slots).
+        assert!(net.energy(1) < net.energy(3));
+        // Sender energy is exactly one transmission per iteration.
+        assert_eq!(net.energy(0), params.iterations() as u64);
+        // Idle vertex 2 pays nothing.
+        assert_eq!(net.energy(2), 0);
+    }
+
+    #[test]
+    fn many_senders_still_deliver_to_hub_whp() {
+        // Star: all leaves send, the hub must hear at least one despite
+        // collisions. Repeat over several seeds.
+        let n = 65;
+        let g = generators::star(n);
+        let params = DecayParams::for_network(n, n - 1);
+        let mut failures = 0;
+        for seed in 0..20 {
+            let mut r = rng(100 + seed);
+            let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
+            let senders: HashMap<_, _> = (1..n).map(|v| (v, v as u64)).collect();
+            let receivers: HashSet<_> = [0usize].into_iter().collect();
+            let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+            if !out.received.contains_key(&0) {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 0, "local broadcast failed under contention");
+    }
+
+    #[test]
+    fn slots_used_matches_parameter_formula() {
+        let g = generators::path(3);
+        let mut r = rng(5);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let params = DecayParams {
+            max_degree: 4,
+            failure_prob: 1e-4,
+        };
+        let senders: HashMap<_, _> = [(0usize, 1u64)].into_iter().collect();
+        let receivers: HashSet<_> = [1usize].into_iter().collect();
+        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+        assert_eq!(out.slots_used, params.total_slots() as u64);
+        assert_eq!(net.slots(), params.total_slots() as u64);
+    }
+
+    #[test]
+    fn sender_energy_is_logarithmic_in_failure_probability() {
+        let cheap = DecayParams {
+            max_degree: 8,
+            failure_prob: 1e-2,
+        };
+        let strict = DecayParams {
+            max_degree: 8,
+            failure_prob: 1e-8,
+        };
+        assert!(strict.iterations() > cheap.iterations());
+        // Growth should be roughly 4x (log-linear), certainly not 100x.
+        assert!(strict.iterations() < 8 * cheap.iterations());
+    }
+
+    #[test]
+    fn disjoint_sender_receiver_components_do_not_interact() {
+        let g = radio_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut r = rng(6);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let params = DecayParams::for_network(4, 1);
+        let senders: HashMap<_, _> = [(0usize, 5u64)].into_iter().collect();
+        let receivers: HashSet<_> = [3usize].into_iter().collect();
+        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
+        assert!(out.received.is_empty());
+    }
+}

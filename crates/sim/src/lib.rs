@@ -1,0 +1,33 @@
+//! Slot-accurate simulator of the `RN[b]` radio-network model (paper,
+//! Section 1.1) with per-device energy metering, plus the Decay-based
+//! Local-Broadcast primitive of Lemma 2.4.
+//!
+//! The model:
+//!
+//! * time is partitioned into discrete, globally synchronised slots;
+//! * in each slot a device **idles** (free), **listens**, or **transmits**
+//!   a message of at most `b` bits (both cost one unit of energy);
+//! * a listener receives a message iff **exactly one** of its neighbours
+//!   transmits in that slot; otherwise it hears nothing (the default), or —
+//!   in the collision-detection variant used by the lower bounds — it can
+//!   distinguish *silence* (no transmitter) from *noise* (two or more).
+//!
+//! Layering: this crate knows nothing about clustering or BFS. Higher-level
+//! algorithms are written against the Local-Broadcast abstraction in
+//! `radio-protocols`, which can either run on this physical simulator (every
+//! call expands into real Decay slots) or on an abstract backend that counts
+//! Local-Broadcast participations directly, as the paper's analysis does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decay;
+pub mod device;
+pub mod energy;
+pub mod model;
+pub mod network;
+
+pub use decay::{decay_local_broadcast, DecayOutcome, DecayParams};
+pub use energy::{EnergyMeter, EnergyReport};
+pub use model::{Action, CollisionDetection, Feedback, Payload};
+pub use network::RadioNetwork;

@@ -1,0 +1,279 @@
+//! The synchronous radio channel: one round of the `RN[b]` model.
+
+use std::collections::HashMap;
+
+use radio_graph::{Graph, NodeId};
+
+use crate::energy::{EnergyMeter, EnergyReport};
+use crate::model::{Action, CollisionDetection, Feedback, MessageBudget, Payload};
+
+/// A radio network instance: a topology, a collision-detection mode, a
+/// message budget, and the running energy meter.
+///
+/// The network is generic over the payload type `M`; the paper's protocols
+/// all use `O(log n)`-bit payloads, which the budget check enforces when a
+/// finite budget is configured.
+#[derive(Clone, Debug)]
+pub struct RadioNetwork<M> {
+    graph: Graph,
+    cd: CollisionDetection,
+    budget: MessageBudget,
+    meter: EnergyMeter,
+    _payload: std::marker::PhantomData<M>,
+}
+
+impl<M: Payload> RadioNetwork<M> {
+    /// Creates a network over `graph` with no collision detection and an
+    /// unlimited message budget.
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.num_nodes();
+        RadioNetwork {
+            graph,
+            cd: CollisionDetection::None,
+            budget: MessageBudget::Unlimited,
+            meter: EnergyMeter::new(n),
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the collision-detection mode.
+    pub fn with_collision_detection(mut self, cd: CollisionDetection) -> Self {
+        self.cd = cd;
+        self
+    }
+
+    /// Sets the per-message bit budget (the `b` of `RN[b]`).
+    pub fn with_message_budget(mut self, budget: MessageBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of devices.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The collision-detection mode in force.
+    pub fn collision_detection(&self) -> CollisionDetection {
+        self.cd
+    }
+
+    /// Read access to the energy meter.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Convenience: the meter's summary report.
+    pub fn report(&self) -> EnergyReport {
+        self.meter.report()
+    }
+
+    /// Energy of device `v` so far.
+    pub fn energy(&self, v: NodeId) -> u64 {
+        self.meter.energy(v)
+    }
+
+    /// Maximum per-device energy so far.
+    pub fn max_energy(&self) -> u64 {
+        self.meter.max_energy()
+    }
+
+    /// Elapsed slots so far.
+    pub fn slots(&self) -> u64 {
+        self.meter.slots()
+    }
+
+    /// Executes one synchronous slot.
+    ///
+    /// `actions` maps a device to its action for the slot; devices not in
+    /// the map idle. Returns, for each **listening** device, the channel
+    /// feedback it observed. Transmitters and idlers are absent from the
+    /// result (a transmitter gets no feedback about its own transmission in
+    /// this model).
+    ///
+    /// Panics if a transmitted payload exceeds the configured bit budget.
+    pub fn step(&mut self, actions: &HashMap<NodeId, Action<M>>) -> HashMap<NodeId, Feedback<M>> {
+        let n = self.num_nodes();
+        // Collect transmitters.
+        let mut transmissions: HashMap<NodeId, M> = HashMap::new();
+        for (&v, action) in actions {
+            assert!(v < n, "device {v} out of range");
+            match action {
+                Action::Idle => {}
+                Action::Listen => {
+                    self.meter.charge_listen(v);
+                }
+                Action::Transmit(m) => {
+                    assert!(
+                        self.budget.allows(m.bit_size()),
+                        "payload of {} bits exceeds the message budget {:?}",
+                        m.bit_size(),
+                        self.budget
+                    );
+                    self.meter.charge_transmit(v);
+                    transmissions.insert(v, m.clone());
+                }
+            }
+        }
+        // Resolve reception for each listener.
+        let mut feedback = HashMap::new();
+        for (&v, action) in actions {
+            if !matches!(action, Action::Listen) {
+                continue;
+            }
+            let mut heard: Option<&M> = None;
+            let mut count = 0usize;
+            for &u in self.graph.neighbors(v) {
+                if let Some(m) = transmissions.get(&u) {
+                    count += 1;
+                    heard = Some(m);
+                    if count > 1 {
+                        break;
+                    }
+                }
+            }
+            let fb = match (count, self.cd) {
+                (1, _) => Feedback::Received(heard.expect("one transmitter").clone()),
+                (0, CollisionDetection::None) => Feedback::Nothing,
+                (_, CollisionDetection::None) => Feedback::Nothing,
+                (0, CollisionDetection::Receiver) => Feedback::Silence,
+                (_, CollisionDetection::Receiver) => Feedback::Noise,
+            };
+            feedback.insert(v, fb);
+        }
+        self.meter.tick();
+        feedback
+    }
+
+    /// Runs `k` consecutive slots in which nobody does anything (useful to
+    /// model agreed-upon idle gaps; costs time but no energy).
+    pub fn idle_slots(&mut self, k: u64) {
+        self.meter.tick_by(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators;
+
+    fn actions<M: Payload>(list: Vec<(NodeId, Action<M>)>) -> HashMap<NodeId, Action<M>> {
+        list.into_iter().collect()
+    }
+
+    #[test]
+    fn single_transmitter_is_heard() {
+        let g = generators::path(3); // 0-1-2
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let fb = net.step(&actions(vec![
+            (0, Action::Transmit(42)),
+            (1, Action::Listen),
+            (2, Action::Listen),
+        ]));
+        assert_eq!(fb[&1], Feedback::Received(42));
+        // Vertex 2 is not adjacent to 0: hears nothing.
+        assert_eq!(fb[&2], Feedback::Nothing);
+        assert_eq!(net.energy(0), 1);
+        assert_eq!(net.energy(1), 1);
+        assert_eq!(net.energy(2), 1);
+        assert_eq!(net.slots(), 1);
+    }
+
+    #[test]
+    fn two_transmitters_collide() {
+        let g = generators::star(4); // center 0, leaves 1..3
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let fb = net.step(&actions(vec![
+            (1, Action::Transmit(1)),
+            (2, Action::Transmit(2)),
+            (0, Action::Listen),
+        ]));
+        assert_eq!(fb[&0], Feedback::Nothing);
+    }
+
+    #[test]
+    fn collision_detection_distinguishes_silence_and_noise() {
+        let g = generators::star(4);
+        let mut net: RadioNetwork<u64> =
+            RadioNetwork::new(g).with_collision_detection(CollisionDetection::Receiver);
+        // Noise: two leaves transmit.
+        let fb = net.step(&actions(vec![
+            (1, Action::Transmit(1)),
+            (2, Action::Transmit(2)),
+            (0, Action::Listen),
+        ]));
+        assert_eq!(fb[&0], Feedback::Noise);
+        // Silence: nobody transmits.
+        let fb = net.step(&actions(vec![(0, Action::Listen)]));
+        assert_eq!(fb[&0], Feedback::Silence);
+        // Reception still works.
+        let fb = net.step(&actions(vec![(1, Action::Transmit(9)), (0, Action::Listen)]));
+        assert_eq!(fb[&0], Feedback::Received(9));
+    }
+
+    #[test]
+    fn transmitter_does_not_hear_its_own_message() {
+        let g = generators::path(2);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let fb = net.step(&actions(vec![(0, Action::Transmit(5)), (1, Action::Transmit(6))]));
+        assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn idle_devices_spend_no_energy() {
+        let g = generators::path(3);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        net.step(&actions(vec![(0, Action::Idle), (1, Action::Listen)]));
+        net.step(&actions(vec![]));
+        assert_eq!(net.energy(0), 0);
+        assert_eq!(net.energy(1), 1);
+        assert_eq!(net.energy(2), 0);
+        assert_eq!(net.slots(), 2);
+    }
+
+    #[test]
+    fn non_neighbors_do_not_interfere() {
+        // 0-1 and 2-3 are separate edges; simultaneous transmissions on the
+        // two edges are both received.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let fb = net.step(&actions(vec![
+            (0, Action::Transmit(10)),
+            (2, Action::Transmit(20)),
+            (1, Action::Listen),
+            (3, Action::Listen),
+        ]));
+        assert_eq!(fb[&1], Feedback::Received(10));
+        assert_eq!(fb[&3], Feedback::Received(20));
+    }
+
+    #[test]
+    fn message_budget_enforced() {
+        let g = generators::path(2);
+        let mut net: RadioNetwork<Vec<u8>> =
+            RadioNetwork::new(g).with_message_budget(MessageBudget::Bits(16));
+        // 2 bytes = 16 bits: fine.
+        net.step(&actions(vec![(0, Action::Transmit(vec![1, 2])), (1, Action::Listen)]));
+        // 3 bytes = 24 bits: panics.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.step(&actions(vec![(0, Action::Transmit(vec![1, 2, 3])), (1, Action::Listen)]));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn idle_slots_cost_time_not_energy() {
+        let g = generators::path(2);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        net.idle_slots(10);
+        assert_eq!(net.slots(), 10);
+        assert_eq!(net.max_energy(), 0);
+    }
+
+    use radio_graph::Graph;
+}

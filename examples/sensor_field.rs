@@ -1,0 +1,111 @@
+//! The paper's motivating scenario (Section 1): sensors scattered through a
+//! National Park organise themselves with a BFS labelling, then run the
+//! steady-state polling scheme — a device with label `i` wakes only at slots
+//! `j·P + (i mod P)` — so that a forest-fire alert propagates with latency
+//! `≈ P·D` while each sensor spends only `O(1)` awake slots.
+//!
+//! The example measures the latency/energy trade-off as the polling period
+//! `P` varies, on the slot-accurate physical simulator (experiment E14).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use radio_energy::bfs::metrics::format_table;
+use radio_energy::graph::bfs::bfs_distances;
+use radio_energy::graph::generators;
+use radio_energy::sim::device::{run_devices, PollingDevice};
+use radio_energy::sim::RadioNetwork;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let (graph, positions) = generators::connected_unit_disc(500, 30.0, 2.5, 200, &mut rng)
+        .expect("could not sample a connected sensor field");
+
+    // The fire is detected by the sensor closest to the park's corner.
+    let source = positions
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (a.0 * a.0 + a.1 * a.1)
+                .partial_cmp(&(b.0 * b.0 + b.1 * b.1))
+                .unwrap()
+        })
+        .map(|(v, _)| v)
+        .unwrap();
+
+    // In a deployed system the labels come from the paper's recursive BFS
+    // (see the quickstart example); here we take them as given and study the
+    // steady state.
+    let labels = bfs_distances(&graph, source);
+    let depth = *labels.iter().max().unwrap() as u64;
+    println!(
+        "sensor field: {} sensors, {} links, BFS depth {depth}, source at the corner (sensor {source})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for period in [2u64, 4, 8, 16] {
+        // Allow a handful of polling cycles per hop for the decay-style
+        // forwarding to resolve contention among same-label sensors.
+        let deadline = (16 * depth + 100) * period;
+        let mut devices: HashMap<usize, PollingDevice> = graph
+            .nodes()
+            .map(|v| {
+                let initial = if v == source { Some(1) } else { None };
+                (
+                    v,
+                    PollingDevice::new(labels[v] as u64, period, deadline, initial)
+                        .with_seed(9000 + v as u64),
+                )
+            })
+            .collect();
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(graph.clone());
+        run_devices(&mut net, &mut devices, deadline);
+
+        let informed = graph
+            .nodes()
+            .filter(|&v| devices[&v].message.is_some())
+            .count();
+        let latency = graph
+            .nodes()
+            .filter_map(|v| devices[&v].received_at)
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            period.to_string(),
+            format!("{informed}/{}", graph.num_nodes()),
+            latency.to_string(),
+            net.max_energy().to_string(),
+            format!("{:.2}", net.report().mean_energy),
+        ]);
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "polling period P",
+                "sensors informed",
+                "alert latency (slots)",
+                "max energy (slots awake)",
+                "mean energy",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading: latency grows roughly linearly with P while per-sensor energy stays flat at a \
+         handful of awake slots — the factor-P energy saving over an always-on schedule that the \
+         paper's introduction describes."
+    );
+}

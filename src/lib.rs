@@ -1,0 +1,52 @@
+//! # radio-energy
+//!
+//! A from-scratch Rust reproduction of *The Energy Complexity of BFS in
+//! Radio Networks* (Chang, Dani, Hayes, Pettie; PODC 2020).
+//!
+//! This umbrella crate re-exports the four layers of the workspace so that
+//! examples and downstream users need a single dependency:
+//!
+//! * [`graph`] (`radio-graph`) — graphs, generators, centralized reference
+//!   algorithms, MPX clustering, lower-bound constructions.
+//! * [`sim`] (`radio-sim`) — the slot-accurate `RN[b]` simulator with
+//!   per-device energy metering and the Decay Local-Broadcast.
+//! * [`protocols`] (`radio-protocols`) — the Local-Broadcast abstraction,
+//!   distributed clustering, casts, virtual cluster networks, aggregation.
+//! * [`bfs`] (`energy-bfs`) — the recursive sub-polynomial-energy BFS, the
+//!   diameter approximations, baselines, and hardness experiments.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use energy_bfs as bfs;
+pub use radio_graph as graph;
+pub use radio_protocols as protocols;
+pub use radio_sim as sim;
+
+/// Convenience prelude for examples and quick experiments.
+pub mod prelude {
+    pub use energy_bfs::baseline::{decay_bfs, trivial_bfs};
+    pub use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
+    pub use energy_bfs::{
+        build_hierarchy, recursive_bfs, recursive_bfs_with_hierarchy, BfsOutcome, EnergySummary,
+        RecursiveBfsConfig,
+    };
+    pub use radio_graph::{generators, Graph, GraphBuilder};
+    pub use radio_protocols::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
+    pub use radio_sim::{RadioNetwork, EnergyMeter};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_re_exports_compile_and_link() {
+        use crate::prelude::*;
+        let g = generators::path(4);
+        let net = AbstractLbNetwork::new(g);
+        assert_eq!(net.num_nodes(), 4);
+        let _ = RecursiveBfsConfig::default();
+    }
+}
