@@ -20,13 +20,17 @@ fn bench_diameter(c: &mut Criterion) {
     let mut group = c.benchmark_group("diameter_approximation");
     group.sample_size(10);
     for &side in &[6usize, 8, 10] {
-        group.bench_with_input(BenchmarkId::new("two_approx_grid", side), &side, |b, &side| {
-            let g = generators::grid(side, side);
-            b.iter(|| {
-                let mut net = AbstractLbNetwork::new(g.clone());
-                two_approx_diameter(&mut net, &config())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("two_approx_grid", side),
+            &side,
+            |b, &side| {
+                let g = generators::grid(side, side);
+                b.iter(|| {
+                    let mut net = AbstractLbNetwork::new(g.clone());
+                    two_approx_diameter(&mut net, &config())
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("three_halves_grid", side),
             &side,

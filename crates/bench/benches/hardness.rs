@@ -19,12 +19,16 @@ fn bench_hardness(c: &mut Criterion) {
         });
     }
     for &ell in &[6u32, 8, 10] {
-        group.bench_with_input(BenchmarkId::new("disjointness_graph", ell), &ell, |b, &ell| {
-            let k = 1u64 << ell;
-            let set_a: Vec<u64> = (0..k / 2).map(|i| (2 * i + 1) % k).collect();
-            let set_b: Vec<u64> = (0..k / 2).map(|i| (2 * i) % k).collect();
-            b.iter(|| build_disjointness_graph(&set_a, &set_b, ell));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("disjointness_graph", ell),
+            &ell,
+            |b, &ell| {
+                let k = 1u64 << ell;
+                let set_a: Vec<u64> = (0..k / 2).map(|i| (2 * i + 1) % k).collect();
+                let set_b: Vec<u64> = (0..k / 2).map(|i| (2 * i) % k).collect();
+                b.iter(|| build_disjointness_graph(&set_a, &set_b, ell));
+            },
+        );
     }
     group.finish();
 }

@@ -28,8 +28,7 @@ use radio_graph::mpx::{cluster_centralized, MpxParams};
 use radio_graph::{bfs::bfs_distances, generators};
 use radio_protocols::cast::down_cast;
 use radio_protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
-    VirtualClusterNet,
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg, VirtualClusterNet,
 };
 use radio_sim::DecayParams;
 use rand::Rng;
@@ -114,13 +113,19 @@ fn e1_ball_intersections() {
     }
     println!(
         "{}",
-        format_table(&["j", "empirical P(> j clusters)", "Lemma 2.1 bound"], &rows)
+        format_table(
+            &["j", "empirical P(> j clusters)", "Lemma 2.1 bound"],
+            &rows
+        )
     );
 }
 
 /// E2 — Lemma 2.2/2.3 + Figure 1: the cluster graph as a distance proxy.
 fn e2_distance_proxy() {
-    header("E2", "Lemmas 2.2/2.3 — cluster-graph distances track original distances");
+    header(
+        "E2",
+        "Lemmas 2.2/2.3 — cluster-graph distances track original distances",
+    );
     let g = generators::grid(40, 40);
     let n = g.num_nodes();
     let mut r = rng(2);
@@ -225,7 +230,10 @@ fn e3_local_broadcast() {
 /// E4 — Lemma 2.5: distributed clustering cost and agreement with the
 /// centralized growth law.
 fn e4_distributed_clustering() {
-    header("E4", "Lemma 2.5 — distributed MPX clustering over Local-Broadcast");
+    header(
+        "E4",
+        "Lemma 2.5 — distributed MPX clustering over Local-Broadcast",
+    );
     let mut rows = Vec::new();
     for (name, g) in standard_families(4) {
         let cfg = ClusteringConfig::new(4);
@@ -264,7 +272,10 @@ fn e4_distributed_clustering() {
 /// E5 — Lemmas 3.1/3.2: per-vertex overhead of casts and of simulating one
 /// Local-Broadcast on the cluster graph.
 fn e5_cluster_simulation_overhead() {
-    header("E5", "Lemmas 3.1/3.2 — cast and cluster-graph simulation overhead");
+    header(
+        "E5",
+        "Lemmas 3.1/3.2 — cast and cluster-graph simulation overhead",
+    );
     let mut rows = Vec::new();
     for (name, g) in standard_families(5) {
         let cfg = ClusteringConfig::new(4);
@@ -293,7 +304,10 @@ fn e5_cluster_simulation_overhead() {
                 (quotient.num_nodes() / 2..quotient.num_nodes()).collect();
             let _ = virt.local_broadcast(&senders, &receivers);
             let after_virt: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
-            (0..n).map(|v| after_virt[v] - after_cast[v]).max().unwrap_or(0)
+            (0..n)
+                .map(|v| after_virt[v] - after_cast[v])
+                .max()
+                .unwrap_or(0)
         } else {
             0
         };
@@ -361,7 +375,10 @@ fn e6_bfs_energy_scaling() {
             base.max_lb_energy.to_string(),
             setup.max_lb_energy.to_string(),
             query.max_lb_energy.to_string(),
-            format!("{:.2}", query.max_lb_energy as f64 / base.max_lb_energy as f64),
+            format!(
+                "{:.2}",
+                query.max_lb_energy as f64 / base.max_lb_energy as f64
+            ),
             format!("{correct}/{n}"),
         ]);
     }
@@ -391,7 +408,10 @@ fn e6_bfs_energy_scaling() {
 /// E7 — Claims 1 and 2: per-vertex X_i memberships and per-cluster Special
 /// Updates stay Õ(1) as D grows.
 fn e7_claims_1_and_2() {
-    header("E7", "Claims 1 & 2 — wavefront and Special-Update participation stay Õ(1)");
+    header(
+        "E7",
+        "Claims 1 & 2 — wavefront and Special-Update participation stay Õ(1)",
+    );
     let mut rows = Vec::new();
     for n in [256usize, 512, 1024, 2048] {
         let g = generators::path(n);
@@ -405,8 +425,7 @@ fn e7_claims_1_and_2() {
         };
         let mut net = AbstractLbNetwork::new(g.clone());
         let hierarchy = build_hierarchy(&mut net, &config);
-        let outcome =
-            recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
+        let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
         rows.push(vec![
             depth.to_string(),
             outcome.stats.stages.to_string(),
@@ -436,7 +455,10 @@ fn e7_claims_1_and_2() {
 
 /// E8 — Figure 3: evolution of [L_i(C), U_i(C)] for a traced cluster.
 fn e8_estimate_evolution() {
-    header("E8", "Figure 3 — time evolution of a cluster's distance estimates");
+    header(
+        "E8",
+        "Figure 3 — time evolution of a cluster's distance estimates",
+    );
     let n = 1024usize;
     let g = generators::path(n);
     let config = RecursiveBfsConfig {
@@ -505,7 +527,11 @@ fn e9_z_sequence() {
     println!(
         "{}",
         format_table(
-            &["value b", format!("# of i ≤ {horizon} with Z[i] ≥ b").as_str(), "period prediction"],
+            &[
+                "value b",
+                format!("# of i ≤ {horizon} with Z[i] ≥ b").as_str(),
+                "period prediction"
+            ],
             &rows
         )
     );
@@ -513,7 +539,10 @@ fn e9_z_sequence() {
 
 /// E10 — Theorem 5.1: distinguishing K_n from K_n − e needs Ω(n) energy.
 fn e10_kn_vs_kn_minus_e() {
-    header("E10", "Theorem 5.1 — (2−ε)-approximating the diameter needs Ω(n) energy");
+    header(
+        "E10",
+        "Theorem 5.1 — (2−ε)-approximating the diameter needs Ω(n) energy",
+    );
     let n = 96;
     let mut r = rng(10);
     let mut rows = Vec::new();
@@ -556,7 +585,10 @@ fn e10_kn_vs_kn_minus_e() {
 
 /// E11 — Theorem 5.2: the sparse construction and the communication ledger.
 fn e11_disjointness_reduction() {
-    header("E11", "Theorem 5.2 — (3/2−ε)-approx diameter needs Ω̃(n) energy on sparse graphs");
+    header(
+        "E11",
+        "Theorem 5.2 — (3/2−ε)-approx diameter needs Ω̃(n) energy on sparse graphs",
+    );
     let mut r = rng(11);
     let mut rows = Vec::new();
     for ell in [5u32, 6, 7, 8] {
@@ -627,13 +659,23 @@ fn e12_two_approx_diameter() {
             diam.to_string(),
             format!("{} ({})", est.estimate, if ok { "ok" } else { "VIOLATED" }),
             est.energy.max_lb_energy.to_string(),
-            est.energy.since(&est.setup_energy).max_lb_energy.to_string(),
+            est.energy
+                .since(&est.setup_energy)
+                .max_lb_energy
+                .to_string(),
         ]);
     }
     println!(
         "{}",
         format_table(
-            &["graph", "n", "diam", "estimate", "total energy", "query energy"],
+            &[
+                "graph",
+                "n",
+                "diam",
+                "estimate",
+                "total energy",
+                "query energy"
+            ],
             &rows
         )
     );
@@ -641,7 +683,10 @@ fn e12_two_approx_diameter() {
 
 /// E13 — Theorem 5.4: nearly-3/2 approximation of the diameter.
 fn e13_three_halves_diameter() {
-    header("E13", "Theorem 5.4 — nearly-3/2 approximation of the diameter");
+    header(
+        "E13",
+        "Theorem 5.4 — nearly-3/2 approximation of the diameter",
+    );
     let config = RecursiveBfsConfig {
         inv_beta: 8,
         max_depth: 1,
@@ -689,7 +734,10 @@ fn e13_three_halves_diameter() {
 
 /// E14 — the introduction's polling-period latency/energy trade-off.
 fn e14_polling_tradeoff() {
-    header("E14", "Section 1 — polling period trades latency for energy");
+    header(
+        "E14",
+        "Section 1 — polling period trades latency for energy",
+    );
     use radio_sim::device::{run_devices, PollingDevice};
     let mut r = rng(14);
     let (g, _) = generators::connected_unit_disc(400, 25.0, 2.4, 300, &mut r)
@@ -715,7 +763,11 @@ fn e14_polling_tradeoff() {
         let mut net: radio_sim::RadioNetwork<u64> = radio_sim::RadioNetwork::new(g.clone());
         run_devices(&mut net, &mut devices, deadline);
         let informed = g.nodes().filter(|&v| devices[&v].message.is_some()).count();
-        let latency = g.nodes().filter_map(|v| devices[&v].received_at).max().unwrap_or(0);
+        let latency = g
+            .nodes()
+            .filter_map(|v| devices[&v].received_at)
+            .max()
+            .unwrap_or(0);
         rows.push(vec![
             period.to_string(),
             format!("{informed}/{}", g.num_nodes()),
@@ -726,7 +778,12 @@ fn e14_polling_tradeoff() {
     println!(
         "{}",
         format_table(
-            &["period P", "informed", "latency (slots)", "max energy (awake slots)"],
+            &[
+                "period P",
+                "informed",
+                "latency (slots)",
+                "max energy (awake slots)"
+            ],
             &rows
         )
     );

@@ -45,7 +45,9 @@ pub fn standard_families(seed: u64) -> Vec<(String, Graph)> {
 /// `1/β ≈ √D` (the paper's tuning, up to constants) with one recursion
 /// level, which is the profitable depth at simulator scale.
 pub fn scaling_config(depth: u64, seed: u64) -> RecursiveBfsConfig {
-    let inv_beta = ((depth as f64).sqrt().round() as u64).next_power_of_two().max(4);
+    let inv_beta = ((depth as f64).sqrt().round() as u64)
+        .next_power_of_two()
+        .max(4);
     RecursiveBfsConfig {
         inv_beta,
         max_depth: 1,
@@ -64,7 +66,10 @@ mod tests {
         let fams = standard_families(1);
         assert!(fams.len() >= 5);
         for (name, g) in fams {
-            assert!(radio_graph::components::is_connected(&g), "{name} disconnected");
+            assert!(
+                radio_graph::components::is_connected(&g),
+                "{name} disconnected"
+            );
         }
     }
 

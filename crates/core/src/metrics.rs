@@ -105,7 +105,11 @@ pub struct RecursionStats {
 impl RecursionStats {
     /// Maximum number of `X_i` memberships over vertices (Claim 1 bound).
     pub fn max_wavefront_memberships(&self) -> u64 {
-        self.wavefront_memberships.iter().copied().max().unwrap_or(0)
+        self.wavefront_memberships
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of Special Updates over clusters (Claim 2 bound).

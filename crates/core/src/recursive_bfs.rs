@@ -23,10 +23,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use radio_protocols::cast::{down_cast, up_cast};
 use radio_protocols::{cluster_distributed, ClusterState, LbNetwork, Msg, VirtualClusterNet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::baseline::trivial_bfs;
 use crate::config::RecursiveBfsConfig;
@@ -101,8 +101,7 @@ pub fn recursive_bfs_full(
     let n = net.num_nodes() as u64;
     let mut bound = (2 * config.inv_beta).max(2);
     loop {
-        let outcome =
-            recursive_bfs_with_hierarchy(net, &hierarchy, &[source], bound, config, &[]);
+        let outcome = recursive_bfs_with_hierarchy(net, &hierarchy, &[source], bound, config, &[]);
         let unlabeled = outcome.dist.iter().filter(|d| d.is_none()).count();
         if unlabeled == 0 || bound >= 2 * n.max(1) {
             return outcome;
@@ -220,14 +219,14 @@ fn recurse(
     record_traces(stats, &estimates, 0, UpdateKind::Initialize, trace_top);
 
     // ---- Step 2: deactivate vertices whose cluster is beyond the horizon.
-    for v in 0..n {
-        if active[v] {
+    for (v, is_active) in active.iter_mut().enumerate() {
+        if *is_active {
             let keep = estimates
                 .get(&state.cluster_of[v])
                 .map(|e| !e.is_unreachable())
                 .unwrap_or(false);
             if !keep {
-                active[v] = false;
+                *is_active = false;
             }
         }
     }
@@ -256,8 +255,8 @@ fn recurse(
             })
             .collect();
         if trace_top {
-            for v in 0..n {
-                if joins[v] {
+            for (v, &joined) in joins.iter().enumerate() {
+                if joined {
                     stats.wavefront_memberships[v] += 1;
                 }
             }
@@ -270,9 +269,8 @@ fn recurse(
                 .filter(|&v| active[v] && dist[v] == Some(frontier_value))
                 .map(|v| (v, Msg::words(&[frontier_value])))
                 .collect();
-            let receivers: HashSet<usize> = (0..n)
-                .filter(|&v| joins[v] && dist[v].is_none())
-                .collect();
+            let receivers: HashSet<usize> =
+                (0..n).filter(|&v| joins[v] && dist[v].is_none()).collect();
             if receivers.is_empty() {
                 break;
             }
@@ -332,10 +330,10 @@ fn recurse(
         // the recursive BFS runs on the induced subgraph of G*, and the new
         // distances come back down (a down-cast).
         charge_wavefront_upcast(net, state, &wavefront, &upsilon);
-        let upsilon_active: Vec<bool> =
-            (0..state.num_clusters()).map(|c| upsilon.contains(&c)).collect();
-        let wavefront_cluster_sources: Vec<usize> =
-            wavefront_clusters.iter().copied().collect();
+        let upsilon_active: Vec<bool> = (0..state.num_clusters())
+            .map(|c| upsilon.contains(&c))
+            .collect();
+        let wavefront_cluster_sources: Vec<usize> = wavefront_clusters.iter().copied().collect();
         let cluster_dist_i = {
             let mut cluster_active = upsilon_active.clone();
             let mut virt = VirtualClusterNet::new(net, state);
@@ -544,7 +542,11 @@ mod tests {
         for v in g.nodes() {
             match outcome.dist[v] {
                 Some(d) => {
-                    assert_eq!(d, truth[v] as u64, "vertex {v} labelled {d}, truth {}", truth[v])
+                    assert_eq!(
+                        d, truth[v] as u64,
+                        "vertex {v} labelled {d}, truth {}",
+                        truth[v]
+                    )
                 }
                 None => assert!(
                     truth[v] == INFINITY || truth[v] as u64 > depth,
@@ -633,14 +635,8 @@ mod tests {
             ..Default::default()
         };
         let hierarchy = build_hierarchy(&mut net, &config);
-        let outcome = recursive_bfs_with_hierarchy(
-            &mut net,
-            &hierarchy,
-            &[0, 99],
-            25,
-            &config,
-            &[],
-        );
+        let outcome =
+            recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0, 99], 25, &config, &[]);
         let truth = radio_graph::bfs::multi_source_bfs(&g, &[0, 99]);
         for v in g.nodes() {
             if let Some(d) = outcome.dist[v] {
@@ -756,7 +752,10 @@ mod tests {
             };
             let outcome = recursive_bfs(&mut net, 0, (n - 1) as u64, &config);
             verify_against_reference(&g, &outcome, 0, (n - 1) as u64);
-            (outcome.stats.max_wavefront_memberships(), outcome.stats.stages)
+            (
+                outcome.stats.max_wavefront_memberships(),
+                outcome.stats.stages,
+            )
         };
         let (members_small, stages_small) = measure(200);
         let (members_large, stages_large) = measure(600);
@@ -790,14 +789,8 @@ mod tests {
             return;
         }
         let traced = hierarchy[0].cluster_of[250];
-        let outcome = recursive_bfs_with_hierarchy(
-            &mut net,
-            &hierarchy,
-            &[0],
-            299,
-            &config,
-            &[traced],
-        );
+        let outcome =
+            recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], 299, &config, &[traced]);
         let (_, points) = &outcome.stats.estimate_traces[0];
         assert!(points.len() >= 2, "expected a non-trivial trace");
         for pair in points.windows(2) {

@@ -48,7 +48,7 @@ impl ZSequence {
     pub fn from_d_star(d_star: u64) -> Self {
         assert!(d_star >= ALPHA, "D* must be at least α = {ALPHA}");
         assert!(
-            (d_star / ALPHA).is_power_of_two() && d_star % ALPHA == 0,
+            (d_star / ALPHA).is_power_of_two() && d_star.is_multiple_of(ALPHA),
             "D* must be α times a power of two, got {d_star}"
         );
         ZSequence { d_star }

@@ -14,8 +14,12 @@ use radio_protocols::AbstractLbNetwork;
 /// Strategy: a connected random graph on up to 40 vertices (random tree plus
 /// random extra edges).
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    (3usize..40, any::<u64>(), proptest::collection::vec((0usize..40, 0usize..40), 0..40)).prop_map(
-        |(n, seed, extra)| {
+    (
+        3usize..40,
+        any::<u64>(),
+        proptest::collection::vec((0usize..40, 0usize..40), 0..40),
+    )
+        .prop_map(|(n, seed, extra)| {
             use rand::SeedableRng;
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let tree = generators::random_tree(n, &mut rng);
@@ -26,8 +30,7 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph::from_edges(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -109,8 +112,8 @@ proptest! {
         let mut net = AbstractLbNetwork::new(g.clone());
         let active = vec![true; n];
         let result = trivial_bfs(&mut net, &[source], &active, n as u64);
-        for v in 0..n {
-            match result.dist[v] {
+        for (v, &found) in result.dist.iter().enumerate() {
+            match found {
                 Some(d) => prop_assert_eq!(d, truth[v] as u64),
                 None => prop_assert_eq!(truth[v], INFINITY),
             }
@@ -132,8 +135,8 @@ proptest! {
         };
         let mut net = AbstractLbNetwork::new(g.clone());
         let outcome = recursive_bfs(&mut net, source, depth.max(1), &config);
-        for v in 0..n {
-            prop_assert_eq!(outcome.dist[v], Some(truth[v] as u64), "vertex {}", v);
+        for (v, &found) in outcome.dist.iter().enumerate() {
+            prop_assert_eq!(found, Some(truth[v] as u64), "vertex {}", v);
         }
     }
 }

@@ -147,8 +147,7 @@ pub fn distance_proxy_stats(
             stats.violations += 1;
         }
         if sample.dist_g > 0 {
-            let ratio =
-                sample.dist_star as f64 / (cg.clustering.beta * sample.dist_g as f64);
+            let ratio = sample.dist_star as f64 / (cg.clustering.beta * sample.dist_g as f64);
             stats.max_ratio = stats.max_ratio.max(ratio);
             stats.min_ratio = stats.min_ratio.min(ratio);
             ratio_sum += ratio;

@@ -59,7 +59,7 @@ pub fn exact_radius(g: &Graph) -> Option<Dist> {
 /// labelling 2-approximates the diameter.
 pub fn double_sweep_lower_bound(g: &Graph, start: NodeId) -> Option<Dist> {
     let d1 = bfs_distances(g, start);
-    if d1.iter().any(|&d| d == INFINITY) {
+    if d1.contains(&INFINITY) {
         return None;
     }
     let far = d1

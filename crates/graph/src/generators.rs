@@ -297,7 +297,8 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     }
     let mut b = GraphBuilder::new(n);
     // Standard Prüfer decoding with a sorted set of leaves.
-    let mut leaves: std::collections::BTreeSet<usize> = (0..n).filter(|&v| degree[v] == 1).collect();
+    let mut leaves: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&v| degree[v] == 1).collect();
     for &x in &prufer {
         let leaf = *leaves.iter().next().expect("a leaf always exists");
         leaves.remove(&leaf);
@@ -474,7 +475,10 @@ mod tests {
         let g = gnp(200, 0.1, &mut r);
         let expected = 0.1 * (200.0 * 199.0 / 2.0);
         let m = g.num_edges() as f64;
-        assert!(m > expected * 0.7 && m < expected * 1.3, "m = {m}, expected ≈ {expected}");
+        assert!(
+            m > expected * 0.7 && m < expected * 1.3,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]

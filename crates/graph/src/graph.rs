@@ -69,7 +69,10 @@ impl Graph {
 
     /// Maximum degree Δ of the graph (0 for an empty/edgeless graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m/n` (0 if there are no vertices).
@@ -148,11 +151,13 @@ impl Graph {
         assert_eq!(perm.len(), self.num_nodes());
         let mut seen = vec![false; self.num_nodes()];
         for &p in perm {
-            assert!(p < self.num_nodes() && !seen[p], "perm is not a permutation");
+            assert!(
+                p < self.num_nodes() && !seen[p],
+                "perm is not a permutation"
+            );
             seen[p] = true;
         }
-        let edges: Vec<(NodeId, NodeId)> =
-            self.edges().map(|(u, v)| (perm[u], perm[v])).collect();
+        let edges: Vec<(NodeId, NodeId)> = self.edges().map(|(u, v)| (perm[u], perm[v])).collect();
         Graph::from_edges(self.num_nodes(), &edges)
     }
 }
@@ -193,7 +198,11 @@ impl GraphBuilder {
     /// Self-loops are silently ignored (the RN model graph is simple).
     /// Returns `true` if the edge was newly inserted.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        assert!(u < self.n && v < self.n, "edge ({u}, {v}) out of range n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u}, {v}) out of range n={}",
+            self.n
+        );
         if u == v {
             return false;
         }

@@ -69,16 +69,12 @@ pub struct DisjointnessGraph {
 /// The bit positions (1-based, as in the paper's `[ℓ]`) where `s` has a 1,
 /// reading bit 1 as the most significant of the `ℓ`-bit representation.
 pub fn ones(s: u64, ell: u32) -> Vec<u32> {
-    (1..=ell)
-        .filter(|&j| (s >> (ell - j)) & 1 == 1)
-        .collect()
+    (1..=ell).filter(|&j| (s >> (ell - j)) & 1 == 1).collect()
 }
 
 /// The complementary positions where `s` has a 0.
 pub fn zeros(s: u64, ell: u32) -> Vec<u32> {
-    (1..=ell)
-        .filter(|&j| (s >> (ell - j)) & 1 == 0)
-        .collect()
+    (1..=ell).filter(|&j| (s >> (ell - j)) & 1 == 0).collect()
 }
 
 /// Builds the Theorem 5.2 graph for sets `S_A, S_B ⊆ {0, …, k − 1}` where
@@ -88,7 +84,10 @@ pub fn zeros(s: u64, ell: u32) -> Vec<u32> {
 /// always works with non-empty sets; empty sets are trivially disjoint).
 pub fn build_disjointness_graph(set_a: &[u64], set_b: &[u64], ell: u32) -> DisjointnessGraph {
     assert!(ell >= 1, "need at least one bit");
-    assert!(!set_a.is_empty() && !set_b.is_empty(), "sets must be non-empty");
+    assert!(
+        !set_a.is_empty() && !set_b.is_empty(),
+        "sets must be non-empty"
+    );
     let k = 1u64 << ell;
     for &x in set_a.iter().chain(set_b.iter()) {
         assert!(x < k, "element {x} out of universe [0, {k})");
@@ -107,10 +106,10 @@ pub fn build_disjointness_graph(set_a: &[u64], set_b: &[u64], ell: u32) -> Disjo
     let v_star = n - 1;
 
     let mut class = Vec::with_capacity(n);
-    class.extend(std::iter::repeat(VertexClass::A).take(alpha));
-    class.extend(std::iter::repeat(VertexClass::B).take(beta));
-    class.extend(std::iter::repeat(VertexClass::C).take(l));
-    class.extend(std::iter::repeat(VertexClass::D).take(l));
+    class.extend(std::iter::repeat_n(VertexClass::A, alpha));
+    class.extend(std::iter::repeat_n(VertexClass::B, beta));
+    class.extend(std::iter::repeat_n(VertexClass::C, l));
+    class.extend(std::iter::repeat_n(VertexClass::D, l));
     class.push(VertexClass::UStar);
     class.push(VertexClass::VStar);
 
@@ -161,10 +160,7 @@ impl DisjointnessGraph {
     /// Whether the underlying set-disjointness instance is a *yes* instance
     /// (`S_A ∩ S_B = ∅`).
     pub fn sets_disjoint(&self) -> bool {
-        !self
-            .set_a
-            .iter()
-            .any(|a| self.set_b.contains(a))
+        !self.set_a.iter().any(|a| self.set_b.contains(a))
     }
 
     /// The diameter the construction predicts: 2 if the sets are disjoint,
@@ -279,7 +275,11 @@ mod tests {
         for (i, &ui) in g.a_vertices.iter().enumerate() {
             for (j, &vj) in g.b_vertices.iter().enumerate() {
                 let expected = if set_a[i] == set_b[j] { 3 } else { 2 };
-                assert_eq!(dist_from[ui][vj], expected, "pair a={}, b={}", set_a[i], set_b[j]);
+                assert_eq!(
+                    dist_from[ui][vj], expected,
+                    "pair a={}, b={}",
+                    set_a[i], set_b[j]
+                );
             }
         }
     }

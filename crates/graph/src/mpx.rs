@@ -176,7 +176,7 @@ impl Clustering {
             return Err("length mismatch".into());
         }
         let sizes = self.cluster_sizes();
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err("empty cluster".into());
         }
         for (c, &center) in self.centers.iter().enumerate() {

@@ -23,8 +23,12 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 /// Strategy: a connected random graph (a random tree plus extra edges).
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    (2usize..20, any::<u64>(), proptest::collection::vec((0usize..20, 0usize..20), 0..30)).prop_map(
-        |(n, seed, extra)| {
+    (
+        2usize..20,
+        any::<u64>(),
+        proptest::collection::vec((0usize..20, 0usize..20), 0..30),
+    )
+        .prop_map(|(n, seed, extra)| {
             use rand::SeedableRng;
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let tree = generators::random_tree(n, &mut rng);
@@ -35,8 +39,7 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph::from_edges(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -177,10 +180,7 @@ proptest! {
         let keep: Vec<bool> = (0..n).map(|v| keep_bits[v % keep_bits.len()]).collect();
         let (sub, remap) = g.induced_subgraph(&keep);
         for (u, v) in g.edges() {
-            match (remap[u], remap[v]) {
-                (Some(nu), Some(nv)) => prop_assert!(sub.has_edge(nu, nv)),
-                _ => {}
-            }
+            if let (Some(nu), Some(nv)) = (remap[u], remap[v]) { prop_assert!(sub.has_edge(nu, nv)) }
         }
         for (a, b) in sub.edges() {
             let ou = remap.iter().position(|&x| x == Some(a)).unwrap();

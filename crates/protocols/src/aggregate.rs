@@ -253,7 +253,13 @@ mod tests {
         let values: Vec<u64> = (0..n as u64).map(|v| v % 997).collect();
         let key_bound = 1u64 << 20;
         let mut net = AbstractLbNetwork::new(g);
-        let _ = find_min(&mut net, &labels, &keys_from(&values), &id_messages(n), key_bound);
+        let _ = find_min(
+            &mut net,
+            &labels,
+            &keys_from(&values),
+            &id_messages(n),
+            key_bound,
+        );
         let log_k = (key_bound as f64).log2().ceil() as u64;
         // ~4 participations per existence query (two sweeps, send+receive),
         // plus the final dissemination rounds.
@@ -270,7 +276,8 @@ mod tests {
         let labels = bfs_distances(&g, 0);
         let values = vec![5u64; 12];
         let mut net = AbstractLbNetwork::new(g);
-        let result = find_min(&mut net, &labels, &keys_from(&values), &id_messages(12), 10).unwrap();
+        let result =
+            find_min(&mut net, &labels, &keys_from(&values), &id_messages(12), 10).unwrap();
         assert_eq!(result.key, 5);
         assert!((result.message.word(0) as usize) < 12);
     }

@@ -185,11 +185,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup(
-        g: radio_graph::Graph,
-        inv_beta: u64,
-        seed: u64,
-    ) -> (AbstractLbNetwork, ClusterState) {
+    fn setup(g: radio_graph::Graph, inv_beta: u64, seed: u64) -> (AbstractLbNetwork, ClusterState) {
         let mut net = AbstractLbNetwork::new(g);
         let cfg = ClusteringConfig::new(inv_beta);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -205,10 +201,10 @@ mod tests {
             .map(|c| (c, Msg::words(&[1000 + c as u64])))
             .collect();
         let holding = down_cast(&mut net, &state, &messages);
-        for v in 0..state.num_nodes() {
+        for (v, held) in holding.iter().enumerate() {
             let c = state.cluster_of[v];
             assert_eq!(
-                holding[v].as_ref().map(|m| m.word(0)),
+                held.as_ref().map(|m| m.word(0)),
                 Some(1000 + c as u64),
                 "vertex {v} (cluster {c}, layer {}) missed the down-cast",
                 state.layer[v]
@@ -225,9 +221,9 @@ mod tests {
         }
         let messages: HashMap<usize, Msg> = [(0usize, Msg::words(&[7]))].into_iter().collect();
         let holding = down_cast(&mut net, &state, &messages);
-        for v in 0..state.num_nodes() {
+        for (v, held) in holding.iter().enumerate() {
             if state.cluster_of[v] != 0 {
-                assert!(holding[v].is_none());
+                assert!(held.is_none());
             }
         }
         // Members of cluster 0 all hold the message.
@@ -249,7 +245,10 @@ mod tests {
         assert_eq!(received.len(), state.num_clusters());
         for (c, m) in &received {
             let holder = m.word(0) as usize;
-            assert_eq!(state.cluster_of[holder], *c, "cluster {c} got a foreign message");
+            assert_eq!(
+                state.cluster_of[holder], *c,
+                "cluster {c} got a foreign message"
+            );
         }
     }
 
@@ -269,8 +268,7 @@ mod tests {
             .iter()
             .max_by_key(|&&v| state.layer[v])
             .unwrap();
-        let messages: HashMap<usize, Msg> =
-            [(deepest, Msg::words(&[4242]))].into_iter().collect();
+        let messages: HashMap<usize, Msg> = [(deepest, Msg::words(&[4242]))].into_iter().collect();
         let participating: HashSet<usize> = [c].into_iter().collect();
         let received = up_cast(&mut net, &state, &participating, &messages);
         assert_eq!(received.get(&c).map(|m| m.word(0)), Some(4242));
@@ -284,8 +282,7 @@ mod tests {
             return;
         }
         let outsider = state.centers[1];
-        let messages: HashMap<usize, Msg> =
-            [(outsider, Msg::words(&[5]))].into_iter().collect();
+        let messages: HashMap<usize, Msg> = [(outsider, Msg::words(&[5]))].into_iter().collect();
         let participating: HashSet<usize> = [0usize].into_iter().collect();
         let received = up_cast(&mut net, &state, &participating, &messages);
         assert!(received.is_empty());
@@ -302,8 +299,8 @@ mod tests {
             .map(|c| (c, Msg::words(&[c as u64])))
             .collect();
         let _ = down_cast(&mut net, &state, &messages);
-        for v in 0..state.num_nodes() {
-            let used = net.lb_energy(v) - before[v];
+        for (v, &already_used) in before.iter().enumerate() {
+            let used = net.lb_energy(v) - already_used;
             let s_len = state.s_sets[state.cluster_of[v]].len() as u64;
             assert!(
                 used <= 2 * s_len + 2,

@@ -17,10 +17,10 @@
 
 use std::collections::{HashMap, HashSet};
 
+use radio_graph::exponential::{sample_exponential, start_time};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use radio_graph::exponential::{sample_exponential, start_time};
 use serde::{Deserialize, Serialize};
 
 use crate::lb::LbNetwork;
@@ -46,7 +46,12 @@ impl ClusteringConfig {
         ClusteringConfig {
             beta: 1.0 / inv_beta as f64,
             contention_factor: 1.0,
-            ell_factor: 2.0,
+            // The paper leaves the Θ(C log n) constant open; 4.0 keeps the
+            // probability that some vertex lacks a private index in S_Cl
+            // (property (2) of Section 3, which the casts rely on)
+            // negligible even at test-sized n, where 2.0 failed a few
+            // instances per thousand.
+            ell_factor: 4.0,
         }
     }
 
@@ -67,8 +72,7 @@ impl ClusteringConfig {
     /// The index-set length `ℓ = Θ(C log n)` used by the casts.
     pub fn ell(&self, global_n: usize) -> usize {
         let n = global_n.max(2) as f64;
-        ((self.ell_factor * self.contention_bound(global_n) as f64 * n.ln()).ceil() as usize)
-            .max(4)
+        ((self.ell_factor * self.contention_bound(global_n) as f64 * n.ln()).ceil() as usize).max(4)
     }
 
     /// Number of growth rounds `⌈4 log(n)/β⌉` (Lemma 2.5).
@@ -142,7 +146,9 @@ impl ClusterState {
 
     /// Cluster sizes.
     pub fn cluster_sizes(&self) -> Vec<usize> {
-        (0..self.num_clusters()).map(|c| self.members(c).len()).collect()
+        (0..self.num_clusters())
+            .map(|c| self.members(c).len())
+            .collect()
     }
 
     /// Converts to the centralized [`radio_graph::Clustering`] representation
@@ -293,8 +299,7 @@ pub fn cluster_distributed<R: Rng + ?Sized>(
                 (v, Msg::words(&[c as u64, layer[v] as u64, tags[c]]))
             })
             .collect();
-        let receivers: HashSet<usize> =
-            (0..n).filter(|&v| cluster_of[v] == usize::MAX).collect();
+        let receivers: HashSet<usize> = (0..n).filter(|&v| cluster_of[v] == usize::MAX).collect();
         if receivers.is_empty() {
             break;
         }
@@ -405,12 +410,15 @@ mod tests {
         // the center through same-cluster vertices (validated by layer
         // structure in validate(), but double-check via BFS).
         for c in 0..state.num_clusters() {
-            let members: std::collections::HashSet<_> =
-                state.members(c).into_iter().collect();
+            let members: std::collections::HashSet<_> = state.members(c).into_iter().collect();
             let active: Vec<bool> = (0..g.num_nodes()).map(|v| members.contains(&v)).collect();
             let dist = radio_graph::bfs::restricted_bfs(&g, &[state.centers[c]], &active);
             for &m in &members {
-                assert_ne!(dist[m], radio_graph::INFINITY, "cluster {c} disconnected at {m}");
+                assert_ne!(
+                    dist[m],
+                    radio_graph::INFINITY,
+                    "cluster {c} disconnected at {m}"
+                );
             }
         }
     }
@@ -460,7 +468,10 @@ mod tests {
             .collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
         let expected = ell as f64 / contention as f64;
-        assert!((mean - expected).abs() < 0.2 * expected, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.2 * expected,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

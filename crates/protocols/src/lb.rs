@@ -12,11 +12,11 @@
 
 use std::collections::{HashMap, HashSet};
 
+use radio_graph::Graph;
+use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use radio_graph::Graph;
-use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
 
 use crate::ledger::LbLedger;
 use crate::message::Msg;
@@ -53,7 +53,10 @@ pub trait LbNetwork {
 
     /// Maximum per-node energy in Local-Broadcast units.
     fn max_lb_energy(&self) -> u64 {
-        (0..self.num_nodes()).map(|v| self.lb_energy(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.lb_energy(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -127,7 +130,12 @@ impl LbNetwork for AbstractLbNetwork {
         self.ledger
             .record_call(senders.keys().copied(), receivers.iter().copied());
         let mut delivered = HashMap::new();
-        for &r in receivers {
+        // Iterate receivers in node order: the RNG stream must map to
+        // receivers deterministically, or seeded runs differ across
+        // processes (HashSet iteration order is randomized per process).
+        let mut ordered: Vec<usize> = receivers.iter().copied().collect();
+        ordered.sort_unstable();
+        for r in ordered {
             if senders.contains_key(&r) {
                 // Sender/receiver sets are required to be disjoint; a vertex
                 // listed in both acts as a sender only.

@@ -51,7 +51,10 @@ pub fn single_hop_leader_election(
     );
     {
         let mut seen = std::collections::HashSet::new();
-        assert!(ids.iter().all(|&id| seen.insert(id)), "identifiers must be distinct");
+        assert!(
+            ids.iter().all(|&id| seen.insert(id)),
+            "identifiers must be distinct"
+        );
     }
 
     let bits = (64 - (id_bound.max(2) - 1).leading_zeros()) as usize;
@@ -85,7 +88,7 @@ pub fn single_hop_leader_election(
             }
         }
         let chosen_bit = if zero_exists { 0 } else { 1 };
-        prefix |= (chosen_bit as u64) << bit;
+        prefix |= chosen_bit << bit;
         for v in 0..n {
             if candidate[v] && (ids[v] >> bit) & 1 != chosen_bit {
                 candidate[v] = false;

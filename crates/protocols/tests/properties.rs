@@ -9,13 +9,15 @@ use proptest::prelude::*;
 
 use radio_graph::{generators, Graph};
 use radio_protocols::cast::{down_cast, up_cast};
-use radio_protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
-};
+use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg};
 
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
-    (3usize..30, any::<u64>(), proptest::collection::vec((0usize..30, 0usize..30), 0..40)).prop_map(
-        |(n, seed, extra)| {
+    (
+        3usize..30,
+        any::<u64>(),
+        proptest::collection::vec((0usize..30, 0usize..30), 0..40),
+    )
+        .prop_map(|(n, seed, extra)| {
             use rand::SeedableRng;
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let tree = generators::random_tree(n, &mut rng);
@@ -26,8 +28,7 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph::from_edges(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -103,10 +104,10 @@ proptest! {
             .map(|c| (c, Msg::words(&[7000 + c as u64])))
             .collect();
         let holding = down_cast(&mut net, &state, &messages);
-        for v in 0..g.num_nodes() {
+        for (v, held) in holding.iter().enumerate() {
             let c = state.cluster_of[v];
             prop_assert_eq!(
-                holding[v].as_ref().map(|m| m.word(0)),
+                held.as_ref().map(|m| m.word(0)),
                 Some(7000 + c as u64),
                 "vertex {} missed its cluster's down-cast", v
             );

@@ -18,8 +18,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::Rng;
 use radio_graph::NodeId;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::model::{Action, Feedback, Payload};
@@ -110,11 +110,17 @@ pub fn decay_local_broadcast<M: Payload, R: Rng + ?Sized>(
     let mut received: HashMap<NodeId, M> = HashMap::new();
     let mut slots_used = 0u64;
 
+    // Senders draw their slots in node order so the RNG stream maps to
+    // devices deterministically (HashMap iteration order is randomized per
+    // process, which would otherwise make seeded runs diverge).
+    let mut sender_ids: Vec<NodeId> = senders.keys().copied().collect();
+    sender_ids.sort_unstable();
+
     for _ in 0..iterations {
         // Each sender independently picks its transmission slot for this
         // iteration.
-        let choices: HashMap<NodeId, usize> = senders
-            .keys()
+        let choices: HashMap<NodeId, usize> = sender_ids
+            .iter()
             .map(|&u| (u, sample_decay_slot(levels, rng)))
             .collect();
         for slot in 1..=levels {
@@ -170,8 +176,8 @@ mod tests {
         // P(1) ≈ 1/2, P(2) ≈ 1/4, and P(t) ≥ 2^-t for all t.
         assert!((counts[1] as f64 / k as f64 - 0.5).abs() < 0.02);
         assert!((counts[2] as f64 / k as f64 - 0.25).abs() < 0.02);
-        for t in 1..=levels {
-            let p = counts[t] as f64 / k as f64;
+        for (t, &count) in counts.iter().enumerate().take(levels + 1).skip(1) {
+            let p = count as f64 / k as f64;
             assert!(p >= 0.9 * 2f64.powi(-(t as i32)), "slot {t} too rare: {p}");
         }
     }

@@ -11,10 +11,10 @@
 
 use std::collections::HashMap;
 
+use radio_graph::NodeId;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use radio_graph::NodeId;
 
 use crate::model::{Action, Feedback, Payload};
 use crate::network::RadioNetwork;
@@ -103,7 +103,11 @@ impl PollingDevice {
             period: period.max(2),
             message: initial_message,
             deadline,
-            received_at: if initial_message.is_some() { Some(0) } else { None },
+            received_at: if initial_message.is_some() {
+                Some(0)
+            } else {
+                None
+            },
             decay_levels: 6,
             forward_cycles: 0,
             rng: ChaCha8Rng::seed_from_u64(label.wrapping_mul(0x9e3779b97f4a7c15) ^ deadline),
@@ -196,7 +200,11 @@ mod tests {
         let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
         run_devices(&mut net, &mut devices, deadline);
         for v in g.nodes() {
-            assert_eq!(devices[&v].message, Some(77), "vertex {v} never got the message");
+            assert_eq!(
+                devices[&v].message,
+                Some(77),
+                "vertex {v} never got the message"
+            );
         }
         // Per-device energy stays far below the always-on cost (≈ latency):
         // each device listens at most once per cycle until it receives, and
@@ -256,7 +264,11 @@ mod tests {
             let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
             run_devices(&mut net, &mut devices, deadline);
             assert!(g.nodes().all(|v| devices[&v].message.is_some()));
-            let latency = g.nodes().filter_map(|v| devices[&v].received_at).max().unwrap();
+            let latency = g
+                .nodes()
+                .filter_map(|v| devices[&v].received_at)
+                .max()
+                .unwrap();
             results.push((latency, net.max_energy()));
         }
         let (lat_small, energy_small) = results[0];
@@ -271,9 +283,14 @@ mod tests {
     fn run_devices_stops_when_all_halt() {
         let g = generators::path(2);
         let mut devices: HashMap<NodeId, PollingDevice> =
-            [(0usize, PollingDevice::new(0, 2, 50_000, Some(1)))].into_iter().collect();
+            [(0usize, PollingDevice::new(0, 2, 50_000, Some(1)))]
+                .into_iter()
+                .collect();
         let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
         let slots = run_devices(&mut net, &mut devices, 50_000);
-        assert!(slots < 50_000, "source should halt after its forwarding budget");
+        assert!(
+            slots < 50_000,
+            "source should halt after its forwarding budget"
+        );
     }
 }

@@ -74,7 +74,10 @@ impl EnergyMeter {
 
     /// Maximum per-device energy — the paper's energy cost of the algorithm.
     pub fn max_energy(&self) -> u64 {
-        (0..self.num_devices()).map(|v| self.energy(v)).max().unwrap_or(0)
+        (0..self.num_devices())
+            .map(|v| self.energy(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of all devices' energy (an upper bound on the number of messages

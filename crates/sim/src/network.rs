@@ -212,7 +212,10 @@ mod tests {
         let fb = net.step(&actions(vec![(0, Action::Listen)]));
         assert_eq!(fb[&0], Feedback::Silence);
         // Reception still works.
-        let fb = net.step(&actions(vec![(1, Action::Transmit(9)), (0, Action::Listen)]));
+        let fb = net.step(&actions(vec![
+            (1, Action::Transmit(9)),
+            (0, Action::Listen),
+        ]));
         assert_eq!(fb[&0], Feedback::Received(9));
     }
 
@@ -220,7 +223,10 @@ mod tests {
     fn transmitter_does_not_hear_its_own_message() {
         let g = generators::path(2);
         let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
-        let fb = net.step(&actions(vec![(0, Action::Transmit(5)), (1, Action::Transmit(6))]));
+        let fb = net.step(&actions(vec![
+            (0, Action::Transmit(5)),
+            (1, Action::Transmit(6)),
+        ]));
         assert!(fb.is_empty());
     }
 
@@ -258,10 +264,16 @@ mod tests {
         let mut net: RadioNetwork<Vec<u8>> =
             RadioNetwork::new(g).with_message_budget(MessageBudget::Bits(16));
         // 2 bytes = 16 bits: fine.
-        net.step(&actions(vec![(0, Action::Transmit(vec![1, 2])), (1, Action::Listen)]));
+        net.step(&actions(vec![
+            (0, Action::Transmit(vec![1, 2])),
+            (1, Action::Listen),
+        ]));
         // 3 bytes = 24 bits: panics.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            net.step(&actions(vec![(0, Action::Transmit(vec![1, 2, 3])), (1, Action::Listen)]));
+            net.step(&actions(vec![
+                (0, Action::Transmit(vec![1, 2, 3])),
+                (1, Action::Listen),
+            ]));
         }));
         assert!(result.is_err());
     }

@@ -16,7 +16,9 @@ use rand_chacha::ChaCha8Rng;
 use radio_energy::bfs::metrics::format_table;
 use radio_energy::graph::cluster_graph::{distance_proxy_stats, ClusterGraph};
 use radio_energy::graph::generators;
-use radio_energy::protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork};
+use radio_energy::protocols::{
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork,
+};
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -30,7 +32,9 @@ fn main() {
         let cfg = ClusteringConfig::new(inv_beta);
         let mut net = AbstractLbNetwork::new(g.clone());
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
-        state.validate().expect("distributed clustering is structurally valid");
+        state
+            .validate()
+            .expect("distributed clustering is structurally valid");
 
         let clustering = state.to_graph_clustering();
         let cluster_graph = ClusterGraph::build(&g, clustering.clone());

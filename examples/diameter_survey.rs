@@ -26,7 +26,10 @@ fn families() -> Vec<(String, Graph)> {
         ("grid(9x9)".into(), generators::grid(9, 9)),
         ("lollipop(10,20)".into(), generators::lollipop(10, 20)),
         ("barbell(8,14)".into(), generators::barbell(8, 14)),
-        ("tree(k=2,levels=6)".into(), generators::complete_k_ary_tree(2, 6)),
+        (
+            "tree(k=2,levels=6)".into(),
+            generators::complete_k_ary_tree(2, 6),
+        ),
     ];
     if let Some(g) = generators::connected_gnp(90, 0.06, 200, &mut rng) {
         out.push(("gnp(90, 0.06)".into(), g));
@@ -59,7 +62,11 @@ fn main() {
             format!(
                 "{} ({})",
                 est2.estimate,
-                if 2 * est2.estimate >= diam && est2.estimate <= diam { "ok" } else { "VIOLATED" }
+                if 2 * est2.estimate >= diam && est2.estimate <= diam {
+                    "ok"
+                } else {
+                    "VIOLATED"
+                }
             ),
             est2.energy.max_lb_energy.to_string(),
             format!(

@@ -94,7 +94,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["algorithm", "max energy (LB units)", "mean energy", "time (LB calls)"],
+            &[
+                "algorithm",
+                "max energy (LB units)",
+                "mean energy",
+                "time (LB calls)"
+            ],
             &rows
         )
     );

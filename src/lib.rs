@@ -36,7 +36,7 @@ pub mod prelude {
     };
     pub use radio_graph::{generators, Graph, GraphBuilder};
     pub use radio_protocols::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
-    pub use radio_sim::{RadioNetwork, EnergyMeter};
+    pub use radio_sim::{EnergyMeter, RadioNetwork};
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@ fn clustering_survives_heavy_loss() {
         let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.3, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let state = cluster_distributed(&mut net, &ClusteringConfig::new(4), &mut rng);
-        state.validate().expect("structural invariants must survive loss");
+        state
+            .validate()
+            .expect("structural invariants must survive loss");
         assert_eq!(state.cluster_sizes().iter().sum::<usize>(), 100);
     }
 }
@@ -49,7 +51,11 @@ fn broadcast_degrades_gracefully_and_never_corrupts() {
     let lossy: usize = (0..3).map(|s| coverage(0.4, s)).sum();
     let near_perfect: usize = (0..3).map(|s| coverage(0.001, 100 + s)).sum();
     assert!(near_perfect > lossy, "loss should reduce coverage");
-    assert_eq!(near_perfect, 3 * g.num_nodes(), "negligible loss must reach everyone");
+    assert_eq!(
+        near_perfect,
+        3 * g.num_nodes(),
+        "negligible loss must reach everyone"
+    );
 }
 
 /// The trivial wavefront BFS with loss: settled distances are never wrong

@@ -123,8 +123,8 @@ fn baseline_and_recursive_bfs_agree_on_labels() {
 fn physical_run_with_small_world_topology() {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
-    let (g, _) = generators::connected_unit_disc(120, 11.0, 2.0, 300, &mut rng)
-        .expect("connected field");
+    let (g, _) =
+        generators::connected_unit_disc(120, 11.0, 2.0, 300, &mut rng).expect("connected field");
     let truth = bfs_distances(&g, 5);
     let depth = *truth.iter().max().unwrap() as u64;
 

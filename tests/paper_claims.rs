@@ -14,7 +14,9 @@ use radio_energy::graph::cluster_graph::{distance_proxy_stats, lemma_2_1_bound, 
 use radio_energy::graph::diameter::{exact_diameter, satisfies_theorem_5_4_bound};
 use radio_energy::graph::generators;
 use radio_energy::graph::lower_bound::build_disjointness_graph;
-use radio_energy::protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork};
+use radio_energy::protocols::{
+    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork,
+};
 
 /// Lemma 2.2, with the clustering produced by the *distributed* protocol:
 /// cluster-graph distances stay inside the paper's interval for every
@@ -40,7 +42,10 @@ fn lemma_2_2_holds_for_distributed_clusterings() {
         violations += stats.violations;
     }
     assert!(total_pairs > 100);
-    assert_eq!(violations, 0, "Lemma 2.2 interval violated {violations} times");
+    assert_eq!(
+        violations, 0,
+        "Lemma 2.2 interval violated {violations} times"
+    );
 }
 
 /// Lemma 2.1: the probability that a ball intersects more than `j` clusters
@@ -88,7 +93,10 @@ fn diameter_guarantees_on_random_graphs() {
         let mut net2 = AbstractLbNetwork::new(g.clone());
         let est2 = two_approx_diameter(&mut net2, &config);
         assert!(est2.estimate <= diam as u64);
-        assert!(2 * est2.estimate >= diam as u64, "trial {trial}: 2-approx too small");
+        assert!(
+            2 * est2.estimate >= diam as u64,
+            "trial {trial}: 2-approx too small"
+        );
 
         let mut net32 = AbstractLbNetwork::new(g.clone());
         let est32 = three_halves_approx_diameter(&mut net32, &config, 55 + trial);

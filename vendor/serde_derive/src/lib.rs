@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` traits are pure markers (no required methods), so the
+//! derives only need to emit `impl Serialize for T {}` / `impl<'de>
+//! Deserialize<'de> for T {}`. The input is scanned token-by-token (no `syn`)
+//! for the `struct`/`enum` keyword followed by the type name; non-generic
+//! types only, which covers every derived type in this workspace.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => return name.to_string(),
+                    other => panic!("serde derive stub: expected type name, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde derive stub: no struct/enum found in derive input");
+}
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
