@@ -1,12 +1,13 @@
 //! E3 bench: wall-clock cost of the Decay Local-Broadcast (Lemma 2.4) on the
 //! physical simulator as contention grows.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The frame and the decay scratch are allocated once per size and reused
+//! across iterations, as every hot caller does.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_bench::rng;
 use radio_graph::generators;
-use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
+use radio_sim::{decay_local_broadcast, DecayParams, DecayScratch, RadioNetwork, RoundFrame};
 
 fn bench_decay(c: &mut Criterion) {
     let mut group = c.benchmark_group("decay_local_broadcast");
@@ -15,12 +16,17 @@ fn bench_decay(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("star_all_senders", n), &n, |b, &n| {
             let g = generators::star(n);
             let params = DecayParams::for_network(n, n - 1);
-            let senders: HashMap<usize, u64> = (1..n).map(|v| (v, v as u64)).collect();
-            let receivers: HashSet<usize> = [0usize].into_iter().collect();
+            let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+            let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
             let mut r = rng(300 + n as u64);
             b.iter(|| {
                 let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
-                decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r)
+                frame.clear();
+                for v in 1..n {
+                    frame.add_sender(v, v as u64);
+                }
+                frame.add_receiver(0);
+                decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r)
             });
         });
     }

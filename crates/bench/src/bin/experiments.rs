@@ -8,8 +8,6 @@
 //! cargo run -p radio-bench --release --bin experiments -- e6 e12
 //! ```
 
-use std::collections::HashMap;
-
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
 use energy_bfs::estimates::UpdateKind;
@@ -79,6 +77,57 @@ fn main() {
     }
     if wants("e14") {
         e14_polling_tradeoff();
+    }
+    if wants("scenarios") {
+        scenario_sweeps();
+    }
+}
+
+/// Batched multi-seed scenario sweeps over the frame engine (grid/tree/
+/// cluster/contention workloads at sizes E1–E14 do not cover). Set
+/// `SCENARIO_JSON=<path>` to also write the per-seed records as JSON.
+fn scenario_sweeps() {
+    use radio_bench::scenarios::{default_scenarios, records_to_json, run_scenarios};
+    header(
+        "SCENARIOS",
+        "batched multi-seed sweeps (6 seeds per family/size)",
+    );
+    let records = run_scenarios(&default_scenarios());
+    let mut rows = Vec::new();
+    for r in &records {
+        rows.push(vec![
+            r.scenario.clone(),
+            r.family.clone(),
+            r.n.to_string(),
+            r.seed.to_string(),
+            r.protocol.clone(),
+            r.lb_calls.to_string(),
+            r.max_lb_energy.to_string(),
+            format!("{:.1}", r.mean_lb_energy),
+            r.outcome.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "scenario",
+                "family",
+                "n",
+                "seed",
+                "protocol",
+                "LB calls",
+                "max energy",
+                "mean energy",
+                "outcome",
+            ],
+            &rows
+        )
+    );
+    if let Ok(path) = std::env::var("SCENARIO_JSON") {
+        let json = records_to_json(&records);
+        std::fs::write(&path, json).expect("write scenario JSON");
+        println!("wrote {} records to {path}", records.len());
     }
 }
 
@@ -186,18 +235,29 @@ fn e3_local_broadcast() {
         let mut sender_energy = 0u64;
         let mut receiver_energy = 0u64;
         let mut slots = 0u64;
+        // One frame + scratch reused across all trials.
+        let mut frame: radio_sim::RoundFrame<u64> = radio_sim::RoundFrame::new(n);
+        let mut scratch: radio_sim::DecayScratch<u64> = radio_sim::DecayScratch::new(n);
         for _ in 0..trials {
             let mut net: radio_sim::RadioNetwork<u64> = radio_sim::RadioNetwork::new(g.clone());
-            let senders: HashMap<usize, u64> = (1..n).map(|v| (v, v as u64)).collect();
-            let receivers: std::collections::HashSet<usize> = [0usize].into_iter().collect();
-            let out =
-                radio_sim::decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-            if out.received.contains_key(&0) {
+            frame.clear();
+            for v in 1..n {
+                frame.add_sender(v, v as u64);
+            }
+            frame.add_receiver(0);
+            let used = radio_sim::decay_local_broadcast(
+                &mut net,
+                &mut frame,
+                &mut scratch,
+                params,
+                &mut r,
+            );
+            if frame.delivered().contains(0) {
                 delivered += 1;
             }
             sender_energy += net.energy(1);
             receiver_energy += net.energy(0);
-            slots += out.slots_used;
+            slots += used;
         }
         rows.push(vec![
             format!("{n}"),
@@ -286,10 +346,13 @@ fn e5_cluster_simulation_overhead() {
         let before: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
 
         // One down-cast to every cluster.
-        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
-            .map(|c| (c, Msg::words(&[c as u64])))
-            .collect();
-        let _ = down_cast(&mut net, &state, &messages);
+        let mut messages: radio_protocols::NodeSlots<Msg> =
+            radio_protocols::NodeSlots::new(state.num_clusters());
+        for c in 0..state.num_clusters() {
+            messages.insert(c, Msg::words(&[c as u64]));
+        }
+        let mut cast_frame = net.new_frame();
+        let _ = down_cast(&mut net, &state, &messages, &mut cast_frame);
         let after_cast: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
         let cast_max = (0..n).map(|v| after_cast[v] - before[v]).max().unwrap_or(0);
 
@@ -297,12 +360,11 @@ fn e5_cluster_simulation_overhead() {
         let quotient = state.quotient_graph(&g);
         let virt_max = if quotient.num_edges() > 0 {
             let mut virt = VirtualClusterNet::new(&mut net, &state);
-            let senders: HashMap<usize, Msg> = (0..quotient.num_nodes() / 2)
+            let senders: Vec<(usize, Msg)> = (0..quotient.num_nodes() / 2)
                 .map(|c| (c, Msg::words(&[c as u64])))
                 .collect();
-            let receivers: std::collections::HashSet<usize> =
-                (quotient.num_nodes() / 2..quotient.num_nodes()).collect();
-            let _ = virt.local_broadcast(&senders, &receivers);
+            let receivers: Vec<usize> = (quotient.num_nodes() / 2..quotient.num_nodes()).collect();
+            let _ = radio_protocols::local_broadcast_once(&mut virt, &senders, &receivers);
             let after_virt: Vec<u64> = (0..n).map(|v| net.lb_energy(v)).collect();
             (0..n)
                 .map(|v| after_virt[v] - after_cast[v])
@@ -749,7 +811,7 @@ fn e14_polling_tradeoff() {
         // Each hop needs a handful of polling cycles for the decay-style
         // forwarding to get through contention.
         let deadline = (16 * depth + 100) * period;
-        let mut devices: HashMap<usize, PollingDevice> = g
+        let mut devices: std::collections::BTreeMap<usize, PollingDevice> = g
             .nodes()
             .map(|v| {
                 let init = if v == 0 { Some(1) } else { None };

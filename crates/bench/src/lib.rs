@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenarios;
+
 use energy_bfs::RecursiveBfsConfig;
 use radio_graph::{generators, Graph};
 use rand::SeedableRng;

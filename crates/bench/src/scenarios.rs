@@ -1,0 +1,444 @@
+//! Batched multi-seed scenario runner.
+//!
+//! A [`Scenario`] is a declarative sweep — a graph family, a list of sizes,
+//! a list of seeds, and a protocol — and the runner executes the full
+//! cartesian product, emitting one [`ScenarioRecord`] of energy/time
+//! metrics per (size, seed) cell. Within one size the graph is built once
+//! and a single [`LbFrame`] is reused across every seed (the frame-engine
+//! reuse discipline), so large-n many-seed sweeps cost one allocation per
+//! size instead of one per Local-Broadcast call.
+//!
+//! Records serialize to JSON with a stable field order and no wall-clock
+//! fields, so a sweep is byte-for-byte reproducible: same scenarios + same
+//! seeds ⇒ identical JSON. That property is what lets sweeps be diffed
+//! across commits the way `BENCH_*.json` files are.
+
+use energy_bfs::baseline::trivial_bfs_with_frame;
+use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
+use radio_graph::{generators, Graph};
+use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Graph family of a scenario. `size` is always the *target node count*;
+/// families that cannot hit it exactly (grids, trees) build the largest
+/// instance not exceeding it and report the realized `n` in the record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Path graph `P_n`.
+    Path,
+    /// Cycle graph `C_n`.
+    Cycle,
+    /// Square grid with side `⌊√size⌋`.
+    Grid,
+    /// Complete `arity`-ary tree with as many full levels as fit in `size`.
+    Tree {
+        /// Branching factor (≥ 2).
+        arity: usize,
+    },
+    /// Star graph (one hub, `size − 1` leaves) — the maximum-contention
+    /// workload of the hardness experiments.
+    Star,
+    /// Lollipop: a clique of `⌊size/4⌋` vertices dragging a path — the
+    /// classic hard case for sweep-style protocols.
+    Lollipop,
+}
+
+impl Family {
+    /// A printable name for tables and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            Family::Path => "path".into(),
+            Family::Cycle => "cycle".into(),
+            Family::Grid => "grid".into(),
+            Family::Tree { arity } => format!("tree{arity}"),
+            Family::Star => "star".into(),
+            Family::Lollipop => "lollipop".into(),
+        }
+    }
+
+    /// Builds the instance for the given target node count.
+    pub fn build(&self, size: usize) -> Graph {
+        let size = size.max(2);
+        match self {
+            Family::Path => generators::path(size),
+            Family::Cycle => generators::cycle(size.max(3)),
+            Family::Grid => {
+                let side = (size as f64).sqrt().floor() as usize;
+                generators::grid(side.max(2), side.max(2))
+            }
+            Family::Tree { arity } => {
+                let k = (*arity).max(2);
+                let mut levels = 2usize;
+                // Largest complete k-ary tree with at most `size` nodes.
+                while tree_nodes(k, levels + 1) <= size {
+                    levels += 1;
+                }
+                generators::complete_k_ary_tree(k, levels)
+            }
+            Family::Star => generators::star(size),
+            Family::Lollipop => {
+                // Clamp the clique to the target so tiny sizes degrade to a
+                // bare clique instead of underflowing the tail length.
+                let clique = (size / 4).max(3).min(size);
+                generators::lollipop(clique, size - clique)
+            }
+        }
+    }
+}
+
+/// Number of nodes of the complete `k`-ary tree with `levels` levels.
+fn tree_nodes(k: usize, levels: usize) -> usize {
+    let mut total = 0usize;
+    let mut layer = 1usize;
+    for _ in 0..levels {
+        total = total.saturating_add(layer);
+        layer = layer.saturating_mul(k);
+    }
+    total
+}
+
+/// Protocol executed on each (size, seed) cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Full-depth trivial wavefront BFS from node 0 (Section 4.3 baseline).
+    TrivialBfs,
+    /// Recursive BFS from node 0 with `1/β ≈ √D` (the paper's tuning),
+    /// hierarchy rebuilt per seed.
+    RecursiveBfs,
+    /// Distributed MPX clustering (Lemma 2.5) with the given `1/β`.
+    Clustering {
+        /// The integral `1/β` of the MPX growth.
+        inv_beta: u64,
+    },
+}
+
+impl Protocol {
+    /// A printable name for tables and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::TrivialBfs => "trivial_bfs".into(),
+            Protocol::RecursiveBfs => "recursive_bfs".into(),
+            Protocol::Clustering { inv_beta } => format!("clustering_b{inv_beta}"),
+        }
+    }
+}
+
+/// One declarative sweep: `family × sizes × seeds`, one protocol.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Name of the sweep (appears in every record).
+    pub name: String,
+    /// Graph family.
+    pub family: Family,
+    /// Target node counts.
+    pub sizes: Vec<usize>,
+    /// RNG seeds; one run per seed per size.
+    pub seeds: Vec<u64>,
+    /// Protocol to execute.
+    pub protocol: Protocol,
+}
+
+/// Deterministic per-run metrics of one (size, seed) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Family label.
+    pub family: String,
+    /// Realized node count.
+    pub n: usize,
+    /// Seed of this run.
+    pub seed: u64,
+    /// Protocol label.
+    pub protocol: String,
+    /// Local-Broadcast calls (time in LB units).
+    pub lb_calls: u64,
+    /// Maximum per-node LB participations (the paper's energy measure).
+    pub max_lb_energy: u64,
+    /// Mean per-node LB participations.
+    pub mean_lb_energy: f64,
+    /// Protocol-specific output size: vertices labelled (BFS) or clusters
+    /// formed (clustering); a cheap cross-seed sanity signal.
+    pub outcome: u64,
+}
+
+/// Runs one scenario, reusing a single frame allocation across all seeds of
+/// each size.
+pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioRecord> {
+    let mut records = Vec::new();
+    for &size in &scenario.sizes {
+        let g = scenario.family.build(size);
+        let n = g.num_nodes();
+        // One frame per size, shared by every seeded run below.
+        let mut frame = radio_protocols::LbFrame::new(n);
+        for &seed in &scenario.seeds {
+            let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+            let outcome = match &scenario.protocol {
+                Protocol::TrivialBfs => {
+                    let active = vec![true; n];
+                    let result =
+                        trivial_bfs_with_frame(&mut net, &[0], &active, n as u64, &mut frame);
+                    result.dist.iter().filter(|d| d.is_some()).count() as u64
+                }
+                Protocol::RecursiveBfs => {
+                    let depth = (n - 1) as u64;
+                    let config = scaling_config_for(depth, seed);
+                    let hierarchy = build_hierarchy(&mut net, &config);
+                    let result = recursive_bfs_with_hierarchy(
+                        &mut net,
+                        &hierarchy,
+                        &[0],
+                        depth,
+                        &config,
+                        &[],
+                    );
+                    result.dist.iter().filter(|d| d.is_some()).count() as u64
+                }
+                Protocol::Clustering { inv_beta } => {
+                    let cfg = ClusteringConfig::new(*inv_beta);
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    let state = cluster_distributed(&mut net, &cfg, &mut rng);
+                    state.num_clusters() as u64
+                }
+            };
+            let total: u64 = (0..n).map(|v| net.lb_energy(v)).sum();
+            records.push(ScenarioRecord {
+                scenario: scenario.name.clone(),
+                family: scenario.family.label(),
+                n,
+                seed,
+                protocol: scenario.protocol.label(),
+                lb_calls: net.lb_time(),
+                max_lb_energy: net.max_lb_energy(),
+                mean_lb_energy: total as f64 / n as f64,
+                outcome,
+            });
+        }
+    }
+    records
+}
+
+/// Runs a batch of scenarios back to back.
+pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioRecord> {
+    scenarios
+        .iter()
+        .flat_map(|s| run_scenario(s).into_iter())
+        .collect()
+}
+
+fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
+    let inv_beta = ((depth as f64).sqrt().round() as u64)
+        .next_power_of_two()
+        .max(4);
+    RecursiveBfsConfig {
+        inv_beta,
+        max_depth: 1,
+        trivial_cutoff: inv_beta,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// The default sweep wired into `experiments -- scenarios`: grid, tree,
+/// clustering and contention workloads at sizes the E1–E14 experiment
+/// binary does not otherwise touch, six seeds each.
+pub fn default_scenarios() -> Vec<Scenario> {
+    let seeds: Vec<u64> = (0..6).collect();
+    vec![
+        Scenario {
+            name: "grid32-trivial".into(),
+            family: Family::Grid,
+            sizes: vec![1024],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+        },
+        Scenario {
+            name: "tree3-trivial".into(),
+            family: Family::Tree { arity: 3 },
+            sizes: vec![1093],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+        },
+        Scenario {
+            name: "path512-recursive".into(),
+            family: Family::Path,
+            sizes: vec![512],
+            seeds: seeds.clone(),
+            protocol: Protocol::RecursiveBfs,
+        },
+        Scenario {
+            name: "grid32-clustering".into(),
+            family: Family::Grid,
+            sizes: vec![1024],
+            seeds: seeds.clone(),
+            protocol: Protocol::Clustering { inv_beta: 4 },
+        },
+        Scenario {
+            name: "lollipop-trivial".into(),
+            family: Family::Lollipop,
+            sizes: vec![2048],
+            seeds,
+            protocol: Protocol::TrivialBfs,
+        },
+    ]
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes records as a stable, pretty-printed JSON array: fixed field
+/// order, floats at three decimals, no wall-clock fields — byte-identical
+/// across repeated runs of the same sweep.
+pub fn records_to_json(records: &[ScenarioRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
+             \"protocol\":\"{}\",\"lb_calls\":{},\"max_lb_energy\":{},\
+             \"mean_lb_energy\":{:.3},\"outcome\":{}}}{}\n",
+            json_escape(&r.scenario),
+            json_escape(&r.family),
+            r.n,
+            r.seed,
+            json_escape(&r.protocol),
+            r.lb_calls,
+            r.max_lb_energy,
+            r.mean_lb_energy,
+            r.outcome,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "grid-small".into(),
+                family: Family::Grid,
+                sizes: vec![64],
+                seeds: (0..6).collect(),
+                protocol: Protocol::TrivialBfs,
+            },
+            Scenario {
+                name: "tree-small".into(),
+                family: Family::Tree { arity: 3 },
+                sizes: vec![40],
+                seeds: (0..6).collect(),
+                protocol: Protocol::Clustering { inv_beta: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn lollipop_degrades_gracefully_at_tiny_sizes() {
+        // Regression: size < clique must not underflow the tail length.
+        for size in [2usize, 3, 4, 7, 11] {
+            let g = Family::Lollipop.build(size);
+            assert!(g.num_nodes() <= size.max(3), "size {size}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_special_characters_in_names() {
+        let records = vec![ScenarioRecord {
+            scenario: "grid-\"big\"\\".into(),
+            family: "grid".into(),
+            n: 4,
+            seed: 0,
+            protocol: "trivial_bfs".into(),
+            lb_calls: 1,
+            max_lb_energy: 1,
+            mean_lb_energy: 1.0,
+            outcome: 4,
+        }];
+        let json = records_to_json(&records);
+        assert!(json.contains("grid-\\\"big\\\"\\\\"), "escaped: {json}");
+    }
+
+    #[test]
+    fn family_sizes_are_respected() {
+        assert_eq!(Family::Path.build(17).num_nodes(), 17);
+        assert_eq!(Family::Grid.build(1024).num_nodes(), 1024);
+        assert_eq!(Family::Grid.build(1000).num_nodes(), 961); // 31×31
+        let t = Family::Tree { arity: 3 }.build(40);
+        assert!(t.num_nodes() <= 40 && t.num_nodes() >= 13);
+        assert_eq!(Family::Star.build(100).num_nodes(), 100);
+        assert!(Family::Lollipop.build(80).num_nodes() <= 80);
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid_of_cells() {
+        let records = run_scenarios(&small_sweep());
+        assert_eq!(records.len(), 12, "2 scenarios × 1 size × 6 seeds");
+        // Trivial BFS on a connected graph labels everybody.
+        for r in records.iter().filter(|r| r.protocol == "trivial_bfs") {
+            assert_eq!(r.outcome, r.n as u64);
+            assert!(r.max_lb_energy > 0);
+            assert!(r.lb_calls > 0);
+        }
+        // Clustering forms at least one cluster and stays within budget.
+        for r in records
+            .iter()
+            .filter(|r| r.protocol.starts_with("clustering"))
+        {
+            assert!(r.outcome >= 1);
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_byte_identical_across_runs() {
+        // The multi-seed determinism property the runner guarantees: same
+        // scenarios, same seeds ⇒ byte-identical JSON (there is no
+        // wall-clock or hash-order dependence anywhere in the pipeline).
+        let a = records_to_json(&run_scenarios(&small_sweep()));
+        let b = records_to_json(&run_scenarios(&small_sweep()));
+        assert_eq!(a, b);
+        // And distinct seeds genuinely produce distinct runs where the
+        // protocol is randomized (clustering cluster counts vary).
+        let records = run_scenarios(&small_sweep());
+        let cluster_counts: std::collections::BTreeSet<u64> = records
+            .iter()
+            .filter(|r| r.protocol.starts_with("clustering"))
+            .map(|r| r.outcome)
+            .collect();
+        assert!(
+            cluster_counts.len() > 1,
+            "6 clustering seeds all produced identical outcomes: {cluster_counts:?}"
+        );
+    }
+
+    #[test]
+    fn recursive_bfs_scenario_labels_everything_on_a_path() {
+        let records = run_scenario(&Scenario {
+            name: "rec".into(),
+            family: Family::Path,
+            sizes: vec![96],
+            seeds: (0..3).collect(),
+            protocol: Protocol::RecursiveBfs,
+        });
+        for r in &records {
+            assert_eq!(r.outcome, 96, "seed {} mislabelled the path", r.seed);
+        }
+    }
+}

@@ -10,9 +10,7 @@
 //! * [`decay_bfs`] — the same wavefront protocol without a known distance
 //!   bound: it keeps advancing until a full sweep settles nothing new.
 
-use std::collections::{HashMap, HashSet};
-
-use radio_protocols::{LbNetwork, Msg};
+use radio_protocols::{LbFrame, LbNetwork, Msg};
 
 /// Result of a wavefront BFS at the Local-Broadcast level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +36,20 @@ pub fn trivial_bfs(
     active: &[bool],
     depth: u64,
 ) -> WavefrontResult {
+    let mut frame = net.new_frame();
+    trivial_bfs_with_frame(net, sources, active, depth, &mut frame)
+}
+
+/// [`trivial_bfs`] driving all of its Local-Broadcast calls through a
+/// caller-provided frame, so batched callers (the recursion's base case,
+/// the multi-seed scenario runner) reuse one allocation across many runs.
+pub fn trivial_bfs_with_frame(
+    net: &mut dyn LbNetwork,
+    sources: &[usize],
+    active: &[bool],
+    depth: u64,
+    frame: &mut LbFrame,
+) -> WavefrontResult {
     let n = net.num_nodes();
     assert_eq!(active.len(), n);
     let mut dist: Vec<Option<u64>> = vec![None; n];
@@ -48,20 +60,25 @@ pub fn trivial_bfs(
     }
     let mut calls = 0u64;
     for step in 0..depth {
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| active[v] && dist[v] == Some(step))
-            .map(|v| (v, Msg::words(&[step])))
-            .collect();
-        let receivers: HashSet<usize> =
-            (0..n).filter(|&v| active[v] && dist[v].is_none()).collect();
-        if receivers.is_empty() {
+        frame.clear();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            if dist[v] == Some(step) {
+                frame.add_sender(v, Msg::words(&[step]));
+            } else if dist[v].is_none() {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.receivers().is_empty() {
             break;
         }
         // Even when the frontier is empty the receivers still listen (they
         // cannot know); this is what makes the trivial algorithm expensive.
-        let delivered = net.local_broadcast(&senders, &receivers);
+        net.local_broadcast(frame);
         calls += 1;
-        for (v, m) in delivered {
+        for (v, m) in frame.delivered().iter() {
             if dist[v].is_none() {
                 dist[v] = Some(m.word(0) + 1);
             }
@@ -78,19 +95,23 @@ pub fn decay_bfs(net: &mut dyn LbNetwork, source: usize) -> WavefrontResult {
     dist[source] = Some(0);
     let mut calls = 0u64;
     let mut frontier_dist = 0u64;
+    let mut frame = net.new_frame();
     loop {
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| dist[v] == Some(frontier_dist))
-            .map(|v| (v, Msg::words(&[frontier_dist])))
-            .collect();
-        let receivers: HashSet<usize> = (0..n).filter(|&v| dist[v].is_none()).collect();
-        if senders.is_empty() || receivers.is_empty() {
+        frame.clear();
+        for (v, d) in dist.iter().enumerate() {
+            if *d == Some(frontier_dist) {
+                frame.add_sender(v, Msg::words(&[frontier_dist]));
+            } else if d.is_none() {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.senders().is_empty() || frame.receivers().is_empty() {
             break;
         }
-        let delivered = net.local_broadcast(&senders, &receivers);
+        net.local_broadcast(&mut frame);
         calls += 1;
         let mut settled_any = false;
-        for (v, m) in delivered {
+        for (v, m) in frame.delivered().iter() {
             if dist[v].is_none() {
                 dist[v] = Some(m.word(0) + 1);
                 settled_any = true;

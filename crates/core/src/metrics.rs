@@ -163,16 +163,13 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 mod tests {
     use super::*;
     use radio_graph::generators;
-    use radio_protocols::{AbstractLbNetwork, Msg};
-    use std::collections::{HashMap, HashSet};
+    use radio_protocols::{local_broadcast_once, AbstractLbNetwork, Msg};
 
     #[test]
     fn summary_of_abstract_network() {
         let g = generators::path(4);
         let mut net = AbstractLbNetwork::new(g);
-        let senders: HashMap<usize, Msg> = [(0, Msg::words(&[1]))].into_iter().collect();
-        let receivers: HashSet<usize> = [1, 2].into_iter().collect();
-        net.local_broadcast(&senders, &receivers);
+        local_broadcast_once(&mut net, &[(0, Msg::words(&[1]))], &[1, 2]);
         let s = EnergySummary::of(&net);
         assert_eq!(s.nodes, 4);
         assert_eq!(s.max_lb_energy, 1);

@@ -21,14 +21,15 @@
 //! the physical devices of the original network — the accounting of
 //! equation (3) and Theorem 4.1.
 
-use std::collections::{HashMap, HashSet};
-
 use radio_protocols::cast::{down_cast, up_cast};
-use radio_protocols::{cluster_distributed, ClusterState, LbNetwork, Msg, VirtualClusterNet};
+use radio_protocols::{
+    cluster_distributed, ClusterState, LbFrame, LbNetwork, Msg, NodeSet, NodeSlots,
+    VirtualClusterNet,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::baseline::trivial_bfs;
+use crate::baseline::trivial_bfs_with_frame;
 use crate::config::RecursiveBfsConfig;
 use crate::estimates::{DistanceEstimate, EstimateTracePoint, UpdateKind};
 use crate::metrics::RecursionStats;
@@ -166,12 +167,15 @@ fn recurse(
 ) -> Vec<Option<u64>> {
     let n = net.num_nodes();
     let active_count = active.iter().filter(|&&a| a).count();
+    // One frame per recursion level, reused by every Local-Broadcast this
+    // level issues (wavefront advances, casts, and the base case).
+    let mut frame = net.new_frame();
 
     // Base case: no further cluster level, or the remaining radius is small
     // enough that the trivial wavefront is at least as cheap.
     if hierarchy.is_empty() || depth <= config.trivial_cutoff || active_count <= 4 {
         let srcs: Vec<usize> = sources.iter().copied().filter(|&s| active[s]).collect();
-        return trivial_bfs(net, &srcs, active, depth).dist;
+        return trivial_bfs_with_frame(net, &srcs, active, depth, &mut frame).dist;
     }
 
     let state = &hierarchy[0];
@@ -190,7 +194,7 @@ fn recurse(
     // The sources tell their cluster centers that they are sources (an
     // up-cast), and the result of the recursive call is disseminated back to
     // the members (a down-cast); both are charged below around the call.
-    charge_source_upcast(net, state, sources, active, &cluster_is_active);
+    charge_source_upcast(net, state, sources, active, &cluster_is_active, &mut frame);
 
     let cluster_dist0 = {
         let mut cluster_active = cluster_is_active.clone();
@@ -208,12 +212,13 @@ fn recurse(
             stats,
         )
     };
-    charge_result_downcast(net, state, &cluster_is_active, &cluster_dist0);
+    charge_result_downcast(net, state, &cluster_is_active, &cluster_dist0, &mut frame);
 
-    let mut estimates: HashMap<usize, DistanceEstimate> = HashMap::new();
+    // Per-cluster distance estimates, stored columnar (indexed by cluster).
+    let mut estimates: Vec<Option<DistanceEstimate>> = vec![None; state.num_clusters()];
     for (c, &is_active) in cluster_is_active.iter().enumerate() {
         if is_active {
-            estimates.insert(c, DistanceEstimate::initialize(cluster_dist0[c], beta, w));
+            estimates[c] = Some(DistanceEstimate::initialize(cluster_dist0[c], beta, w));
         }
     }
     record_traces(stats, &estimates, 0, UpdateKind::Initialize, trace_top);
@@ -221,8 +226,7 @@ fn recurse(
     // ---- Step 2: deactivate vertices whose cluster is beyond the horizon.
     for (v, is_active) in active.iter_mut().enumerate() {
         if *is_active {
-            let keep = estimates
-                .get(&state.cluster_of[v])
+            let keep = estimates[state.cluster_of[v]]
                 .map(|e| !e.is_unreachable())
                 .unwrap_or(false);
             if !keep {
@@ -248,8 +252,7 @@ fn recurse(
         let joins: Vec<bool> = (0..n)
             .map(|v| {
                 active[v]
-                    && estimates
-                        .get(&state.cluster_of[v])
+                    && estimates[state.cluster_of[v]]
                         .map(|e| e.joins_wavefront(beta))
                         .unwrap_or(false)
             })
@@ -262,20 +265,23 @@ fn recurse(
             }
         }
 
-        // Step 5: advance the wavefront β⁻¹ hops.
+        // Step 5: advance the wavefront β⁻¹ hops, reusing this level's
+        // frame for every hop.
         for t in 0..inv_beta {
             let frontier_value = i * inv_beta + t;
-            let senders: HashMap<usize, Msg> = (0..n)
-                .filter(|&v| active[v] && dist[v] == Some(frontier_value))
-                .map(|v| (v, Msg::words(&[frontier_value])))
-                .collect();
-            let receivers: HashSet<usize> =
-                (0..n).filter(|&v| joins[v] && dist[v].is_none()).collect();
-            if receivers.is_empty() {
+            frame.clear();
+            for v in 0..n {
+                if active[v] && dist[v] == Some(frontier_value) {
+                    frame.add_sender(v, Msg::words(&[frontier_value]));
+                } else if joins[v] && dist[v].is_none() {
+                    frame.add_receiver(v);
+                }
+            }
+            if frame.receivers().is_empty() {
                 break;
             }
-            let delivered = net.local_broadcast(&senders, &receivers);
-            for (v, m) in delivered {
+            net.local_broadcast(&mut frame);
+            for (v, m) in frame.delivered().iter() {
                 if dist[v].is_none() {
                     dist[v] = Some(m.word(0) + 1);
                 }
@@ -312,16 +318,21 @@ fn recurse(
         // Step 7: Special Update for clusters that might soon be relevant.
         let z_next = zseq.z(i + 1);
         let cluster_is_active_now = cluster_activity(state, active);
-        let mut upsilon: HashSet<usize> = estimates
-            .iter()
-            .filter(|&(&c, e)| cluster_is_active_now[c] && e.joins_special_update(z_next, beta))
-            .map(|(&c, _)| c)
-            .collect();
-        let wavefront_clusters: HashSet<usize> =
-            wavefront.iter().map(|&v| state.cluster_of[v]).collect();
-        upsilon.extend(wavefront_clusters.iter().copied());
+        let mut upsilon = NodeSet::new(state.num_clusters());
+        for (c, e) in estimates.iter().enumerate() {
+            if let Some(e) = e {
+                if cluster_is_active_now[c] && e.joins_special_update(z_next, beta) {
+                    upsilon.insert(c);
+                }
+            }
+        }
+        let mut wavefront_clusters = NodeSet::new(state.num_clusters());
+        for &v in &wavefront {
+            wavefront_clusters.insert(state.cluster_of[v]);
+        }
+        upsilon.extend(wavefront_clusters.iter());
         if trace_top {
-            for &c in &upsilon {
+            for c in upsilon.iter() {
                 stats.special_update_memberships[c] += 1;
             }
         }
@@ -329,11 +340,11 @@ fn recurse(
         // The wavefront vertices inform their cluster centers (an up-cast),
         // the recursive BFS runs on the induced subgraph of G*, and the new
         // distances come back down (a down-cast).
-        charge_wavefront_upcast(net, state, &wavefront, &upsilon);
+        charge_wavefront_upcast(net, state, &wavefront, &upsilon, &mut frame);
         let upsilon_active: Vec<bool> = (0..state.num_clusters())
-            .map(|c| upsilon.contains(&c))
+            .map(|c| upsilon.contains(c))
             .collect();
-        let wavefront_cluster_sources: Vec<usize> = wavefront_clusters.iter().copied().collect();
+        let wavefront_cluster_sources: Vec<usize> = wavefront_clusters.iter().collect();
         let cluster_dist_i = {
             let mut cluster_active = upsilon_active.clone();
             let mut virt = VirtualClusterNet::new(net, state);
@@ -350,20 +361,21 @@ fn recurse(
                 stats,
             )
         };
-        charge_result_downcast(net, state, &upsilon_active, &cluster_dist_i);
+        charge_result_downcast(net, state, &upsilon_active, &cluster_dist_i, &mut frame);
 
         // Step 7 (update) and Step 8 (automatic update).
-        let mut next_estimates: HashMap<usize, DistanceEstimate> = HashMap::new();
-        for (&c, est) in &estimates {
+        let mut next_estimates: Vec<Option<DistanceEstimate>> = vec![None; state.num_clusters()];
+        for (c, est) in estimates.iter().enumerate() {
+            let Some(est) = est else { continue };
             if !cluster_is_active_now[c] {
                 continue;
             }
-            let updated = if upsilon.contains(&c) {
+            let updated = if upsilon.contains(c) {
                 est.special(cluster_dist_i[c], z_next, beta, w)
             } else {
                 est.automatic(beta)
             };
-            next_estimates.insert(c, updated);
+            next_estimates[c] = Some(updated);
         }
         record_traces_split(stats, &next_estimates, &upsilon, i + 1, trace_top);
         estimates = next_estimates;
@@ -390,15 +402,16 @@ fn cluster_activity(state: &ClusterState, active: &[bool]) -> Vec<bool> {
     out
 }
 
-/// The clusters containing at least one active source.
+/// The clusters containing at least one active source, in ascending order
+/// (deterministic by construction via the dense cluster set).
 fn source_clusters(state: &ClusterState, sources: &[usize], active: &[bool]) -> Vec<usize> {
-    let set: HashSet<usize> = sources
-        .iter()
-        .copied()
-        .filter(|&s| active[s])
-        .map(|s| state.cluster_of[s])
-        .collect();
-    set.into_iter().collect()
+    let mut set = NodeSet::new(state.num_clusters());
+    for &s in sources {
+        if active[s] {
+            set.insert(state.cluster_of[s]);
+        }
+    }
+    set.iter().collect()
 }
 
 /// Charges the up-cast by which sources announce themselves to their cluster
@@ -409,22 +422,25 @@ fn charge_source_upcast(
     sources: &[usize],
     active: &[bool],
     cluster_is_active: &[bool],
+    frame: &mut LbFrame,
 ) {
-    let holders: HashMap<usize, Msg> = sources
-        .iter()
-        .copied()
-        .filter(|&s| active[s])
-        .map(|s| (s, Msg::words(&[1])))
-        .collect();
+    let mut holders: NodeSlots<Msg> = NodeSlots::new(state.num_nodes());
+    for &s in sources {
+        if active[s] {
+            holders.insert(s, Msg::words(&[1]));
+        }
+    }
     if holders.is_empty() {
         return;
     }
-    let participating: HashSet<usize> = holders
-        .keys()
-        .map(|&s| state.cluster_of[s])
-        .filter(|&c| cluster_is_active[c])
-        .collect();
-    let _ = up_cast(net, state, &participating, &holders);
+    let mut participating = NodeSet::new(state.num_clusters());
+    for (s, _) in holders.iter() {
+        let c = state.cluster_of[s];
+        if cluster_is_active[c] {
+            participating.insert(c);
+        }
+    }
+    let _ = up_cast(net, state, &participating, &holders, frame);
 }
 
 /// Charges the up-cast by which the new wavefront vertices announce their
@@ -433,22 +449,22 @@ fn charge_wavefront_upcast(
     net: &mut dyn LbNetwork,
     state: &ClusterState,
     wavefront: &[usize],
-    upsilon: &HashSet<usize>,
+    upsilon: &NodeSet,
+    frame: &mut LbFrame,
 ) {
-    let holders: HashMap<usize, Msg> = wavefront
-        .iter()
-        .copied()
-        .map(|v| (v, Msg::words(&[1])))
-        .collect();
-    if holders.is_empty() {
+    if wavefront.is_empty() {
         return;
     }
-    let participating: HashSet<usize> = wavefront
-        .iter()
-        .map(|&v| state.cluster_of[v])
-        .filter(|c| upsilon.contains(c))
-        .collect();
-    let _ = up_cast(net, state, &participating, &holders);
+    let mut holders: NodeSlots<Msg> = NodeSlots::new(state.num_nodes());
+    let mut participating = NodeSet::new(state.num_clusters());
+    for &v in wavefront {
+        holders.insert(v, Msg::words(&[1]));
+        let c = state.cluster_of[v];
+        if upsilon.contains(c) {
+            participating.insert(c);
+        }
+    }
+    let _ = up_cast(net, state, &participating, &holders, frame);
 }
 
 /// Charges the down-cast by which cluster centers disseminate the outcome of
@@ -458,25 +474,24 @@ fn charge_result_downcast(
     state: &ClusterState,
     participating: &[bool],
     cluster_dist: &[Option<u64>],
+    frame: &mut LbFrame,
 ) {
-    let messages: HashMap<usize, Msg> = participating
-        .iter()
-        .enumerate()
-        .filter(|&(_, &p)| p)
-        .map(|(c, _)| {
+    let mut messages: NodeSlots<Msg> = NodeSlots::new(state.num_clusters());
+    for (c, &p) in participating.iter().enumerate() {
+        if p {
             let encoded = cluster_dist[c].map(|d| d + 1).unwrap_or(0);
-            (c, Msg::words(&[encoded]))
-        })
-        .collect();
+            messages.insert(c, Msg::words(&[encoded]));
+        }
+    }
     if messages.is_empty() {
         return;
     }
-    let _ = down_cast(net, state, &messages);
+    let _ = down_cast(net, state, &messages, frame);
 }
 
 fn record_traces(
     stats: &mut RecursionStats,
-    estimates: &HashMap<usize, DistanceEstimate>,
+    estimates: &[Option<DistanceEstimate>],
     stage: u64,
     kind: UpdateKind,
     trace_top: bool,
@@ -485,7 +500,7 @@ fn record_traces(
         return;
     }
     for (c, points) in stats.estimate_traces.iter_mut() {
-        if let Some(e) = estimates.get(c) {
+        if let Some(e) = estimates.get(*c).copied().flatten() {
             points.push(EstimateTracePoint {
                 stage,
                 kind,
@@ -499,8 +514,8 @@ fn record_traces(
 
 fn record_traces_split(
     stats: &mut RecursionStats,
-    estimates: &HashMap<usize, DistanceEstimate>,
-    upsilon: &HashSet<usize>,
+    estimates: &[Option<DistanceEstimate>],
+    upsilon: &NodeSet,
     stage: u64,
     trace_top: bool,
 ) {
@@ -508,8 +523,8 @@ fn record_traces_split(
         return;
     }
     for (c, points) in stats.estimate_traces.iter_mut() {
-        if let Some(e) = estimates.get(c) {
-            let kind = if upsilon.contains(c) {
+        if let Some(e) = estimates.get(*c).copied().flatten() {
+            let kind = if upsilon.contains(*c) {
                 UpdateKind::Special
             } else {
                 UpdateKind::Automatic
@@ -528,6 +543,7 @@ fn record_traces_split(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::trivial_bfs;
     use radio_graph::bfs::bfs_distances;
     use radio_graph::{generators, INFINITY};
     use radio_protocols::AbstractLbNetwork;

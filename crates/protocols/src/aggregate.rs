@@ -14,9 +14,8 @@
 //! `O(log K)` energy and `O(D log K)` time — the `Õ(1)`-energy primitive the
 //! diameter algorithms rely on.
 
-use std::collections::HashMap;
-
 use radio_graph::Dist;
+use radio_sim::NodeSlots;
 
 use crate::broadcast::{down_sweep, up_sweep};
 use crate::lb::LbNetwork;
@@ -86,13 +85,14 @@ fn exists_in_range(
             None
         }
     });
-    let holders: HashMap<usize, Msg> = (0..labels.len())
-        .filter(|&v| reached[v].is_some() || labels[v] == 0)
-        .filter(|&v| keys[v].is_some_and(|k| k >= lo && k <= hi))
-        .map(|v| (v, Msg::words(&[1])))
-        .collect();
+    let mut holders: NodeSlots<Msg> = NodeSlots::new(labels.len());
+    for v in 0..labels.len() {
+        if (reached[v].is_some() || labels[v] == 0) && keys[v].is_some_and(|k| k >= lo && k <= hi) {
+            holders.insert(v, Msg::words(&[1]));
+        }
+    }
     let at_root = up_sweep(net, labels, &holders);
-    !at_root.is_empty() || holders.keys().any(|&v| labels[v] == 0)
+    !at_root.is_empty() || holders.keys().iter().any(|v| labels[v] == 0)
 }
 
 fn find_extremum(
@@ -150,15 +150,18 @@ fn find_extremum(
             None
         }
     });
-    let holders: HashMap<usize, Msg> = (0..labels.len())
-        .filter(|&v| keys[v] == Some(winner_key))
-        .map(|v| (v, messages[v].clone()))
-        .collect();
+    let mut holders: NodeSlots<Msg> = NodeSlots::new(labels.len());
+    for v in 0..labels.len() {
+        if keys[v] == Some(winner_key) {
+            holders.insert(v, messages[v].clone());
+        }
+    }
     let at_root = up_sweep(net, labels, &holders);
     let message = at_root
-        .into_values()
+        .iter()
         .next()
-        .or_else(|| holders.values().next().cloned())?;
+        .map(|(_, m)| m.clone())
+        .or_else(|| holders.iter().next().map(|(_, m)| m.clone()))?;
 
     // Final dissemination of the winner to everyone (the diameter algorithms
     // need all vertices to know the result).

@@ -7,10 +7,12 @@
 //! the "efficient dissemination via up-casts and down-casts" the paper's
 //! introduction motivates, and the primitive the diameter algorithms of
 //! Section 5.1 use for their layer-by-layer sweeps.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Both sweeps drive all of their layer calls through one internally reused
+//! [`LbFrame`], so a sweep performs no per-layer allocation.
 
 use radio_graph::Dist;
+use radio_sim::NodeSlots;
 
 use crate::lb::LbNetwork;
 use crate::message::Msg;
@@ -50,36 +52,44 @@ where
         .filter(|&d| d != radio_graph::INFINITY)
         .max()
         .unwrap_or(0);
+    let mut frame = net.new_frame();
     for layer in 1..=max_layer {
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| labels[v] == layer - 1)
-            .filter_map(|v| holding[v].clone().map(|m| (v, m)))
-            .collect();
-        let receivers: HashSet<usize> = (0..n).filter(|&v| labels[v] == layer).collect();
-        if receivers.is_empty() {
+        frame.clear();
+        for v in 0..n {
+            if labels[v] == layer - 1 {
+                if let Some(m) = &holding[v] {
+                    frame.add_sender(v, m.clone());
+                }
+            } else if labels[v] == layer {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.receivers().is_empty() {
             continue;
         }
-        let delivered = net.local_broadcast(&senders, &receivers);
-        for (v, m) in delivered {
+        net.local_broadcast(&mut frame);
+        for (v, m) in frame.delivered().iter() {
             if holding[v].is_none() {
-                holding[v] = Some(m);
+                holding[v] = Some(m.clone());
             }
         }
     }
     holding
 }
 
-/// Generalized up sweep: some vertices hold messages; messages travel up the
-/// BFS layers towards layer 0, each vertex forwarding the first message it
-/// hears (or its own). Returns the message each layer-0 vertex ended up with.
+/// Generalized up sweep: some vertices hold messages (`holders`, keyed by
+/// node over the network's universe); messages travel up the BFS layers
+/// towards layer 0, each vertex forwarding the first message it hears (or
+/// its own). Returns the message each layer-0 vertex ended up with, keyed
+/// by node.
 pub fn up_sweep(
     net: &mut dyn LbNetwork,
     labels: &[Dist],
-    holders: &HashMap<usize, Msg>,
-) -> HashMap<usize, Msg> {
+    holders: &NodeSlots<Msg>,
+) -> NodeSlots<Msg> {
     let n = labels.len();
     let mut holding: Vec<Option<Msg>> = vec![None; n];
-    for (&v, m) in holders {
+    for (v, m) in holders.iter() {
         holding[v] = Some(m.clone());
     }
     let max_layer = labels
@@ -88,26 +98,37 @@ pub fn up_sweep(
         .filter(|&d| d != radio_graph::INFINITY)
         .max()
         .unwrap_or(0);
+    let mut frame = net.new_frame();
     for layer in (1..=max_layer).rev() {
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| labels[v] == layer)
-            .filter_map(|v| holding[v].clone().map(|m| (v, m)))
-            .collect();
-        let receivers: HashSet<usize> = (0..n).filter(|&v| labels[v] == layer - 1).collect();
-        if senders.is_empty() || receivers.is_empty() {
+        frame.clear();
+        for v in 0..n {
+            if labels[v] == layer {
+                if let Some(m) = &holding[v] {
+                    frame.add_sender(v, m.clone());
+                }
+            } else if labels[v] == layer - 1 {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.senders().is_empty() || frame.receivers().is_empty() {
             continue;
         }
-        let delivered = net.local_broadcast(&senders, &receivers);
-        for (v, m) in delivered {
+        net.local_broadcast(&mut frame);
+        for (v, m) in frame.delivered().iter() {
             if holding[v].is_none() {
-                holding[v] = Some(m);
+                holding[v] = Some(m.clone());
             }
         }
     }
-    (0..n)
-        .filter(|&v| labels[v] == 0)
-        .filter_map(|v| holding[v].clone().map(|m| (v, m)))
-        .collect()
+    let mut out = NodeSlots::new(n);
+    for v in 0..n {
+        if labels[v] == 0 {
+            if let Some(m) = &holding[v] {
+                out.insert(v, m.clone());
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -146,9 +167,10 @@ mod tests {
         let g = generators::path(10);
         let labels = bfs_distances(&g, 0);
         let mut net = AbstractLbNetwork::new(g);
-        let holders: HashMap<usize, Msg> = [(9usize, Msg::words(&[55]))].into_iter().collect();
+        let mut holders = NodeSlots::new(10);
+        holders.insert(9, Msg::words(&[55]));
         let at_root = up_sweep(&mut net, &labels, &holders);
-        assert_eq!(at_root.get(&0).map(|m| m.word(0)), Some(55));
+        assert_eq!(at_root.get(0).map(|m| m.word(0)), Some(55));
         // Relays pay O(1): two calls each (receive once, send once).
         assert!(net.max_lb_energy() <= 2);
     }
@@ -158,7 +180,7 @@ mod tests {
         let g = generators::path(5);
         let labels = bfs_distances(&g, 0);
         let mut net = AbstractLbNetwork::new(g);
-        let at_root = up_sweep(&mut net, &labels, &HashMap::new());
+        let at_root = up_sweep(&mut net, &labels, &NodeSlots::new(5));
         assert!(at_root.is_empty());
     }
 

@@ -16,11 +16,16 @@
 //!
 //! Per-vertex energy is `O(|S_Cl|) = O(log n)` Local-Broadcast
 //! participations per cast, as in Lemma 3.1.
+//!
+//! Both casts drive all of their `D · ℓ` Local-Broadcast calls through one
+//! caller-provided [`LbFrame`] scratch (sized for the parent network), so a
+//! cast allocates nothing per call; the step → clusters schedule is a dense
+//! table over `[ℓ]`, iterated in ascending step order by construction.
 
-use std::collections::{HashMap, HashSet};
+use radio_sim::{NodeSet, NodeSlots};
 
 use crate::clustering::ClusterState;
-use crate::lb::LbNetwork;
+use crate::lb::{LbFrame, LbNetwork};
 use crate::message::Msg;
 
 /// Wraps a payload with the cluster index it belongs to.
@@ -36,20 +41,33 @@ fn unwrap(m: &Msg) -> (usize, Msg) {
     (m.word(0) as usize, Msg(m.0[1..].to_vec()))
 }
 
-/// For each step `j ∈ [ℓ]`, the participating clusters whose `S_Cl`
-/// contains `j` (restricted to `clusters`).
-fn steps_to_clusters(state: &ClusterState, clusters: &[usize]) -> HashMap<usize, Vec<usize>> {
-    let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
-    for &c in clusters {
-        for &j in &state.s_sets[c] {
-            map.entry(j).or_default().push(c);
+/// The step schedule of one cast: for each step `j ∈ [ℓ]` used by some
+/// participating cluster, the clusters whose `S_Cl` contains `j`. Dense over
+/// `[ℓ]`, so iteration is ascending without sorting.
+struct StepSchedule {
+    clusters_at: Vec<Vec<usize>>,
+    steps: Vec<usize>,
+}
+
+impl StepSchedule {
+    fn build(state: &ClusterState, clusters: impl Iterator<Item = usize>) -> Self {
+        let mut clusters_at: Vec<Vec<usize>> = vec![Vec::new(); state.ell];
+        for c in clusters {
+            for &j in &state.s_sets[c] {
+                clusters_at[j].push(c);
+            }
         }
+        let steps: Vec<usize> = (0..state.ell)
+            .filter(|&j| !clusters_at[j].is_empty())
+            .collect();
+        StepSchedule { clusters_at, steps }
     }
-    map
 }
 
 /// Down-cast: disseminates `messages[c]` from the center of each cluster `c`
-/// to all of its members.
+/// (over the cluster universe, i.e. `messages` is keyed by cluster index) to
+/// all of its members. `frame` is the Local-Broadcast scratch, sized for the
+/// parent network.
 ///
 /// Returns, for every node of the parent network, the payload it ended up
 /// holding (`None` for nodes of non-participating clusters, and for members
@@ -58,48 +76,46 @@ fn steps_to_clusters(state: &ClusterState, clusters: &[usize]) -> HashMap<usize,
 pub fn down_cast(
     parent: &mut dyn LbNetwork,
     state: &ClusterState,
-    messages: &HashMap<usize, Msg>,
+    messages: &NodeSlots<Msg>,
+    frame: &mut LbFrame,
 ) -> Vec<Option<Msg>> {
     let n = state.num_nodes();
+    debug_assert_eq!(frame.num_nodes(), n, "cast frame must cover the parent");
     let mut holding: Vec<Option<Msg>> = vec![None; n];
     if messages.is_empty() {
         return holding;
     }
-    let participating: Vec<usize> = messages.keys().copied().collect();
     // Centers start out holding their message.
-    for &c in &participating {
-        holding[state.centers[c]] = Some(messages[&c].clone());
+    for (c, m) in messages.iter() {
+        holding[state.centers[c]] = Some(m.clone());
     }
-    let step_map = steps_to_clusters(state, &participating);
-    let mut steps: Vec<usize> = step_map.keys().copied().collect();
-    steps.sort_unstable();
+    let schedule = StepSchedule::build(state, messages.keys().iter());
 
-    let max_stage = participating
+    let max_stage = messages
+        .keys()
         .iter()
-        .map(|&c| state.radius(c))
+        .map(|c| state.radius(c))
         .max()
         .unwrap_or(0);
     for stage in 1..=max_stage {
-        for &j in &steps {
-            let clusters = &step_map[&j];
-            let mut senders: HashMap<usize, Msg> = HashMap::new();
-            let mut receivers: HashSet<usize> = HashSet::new();
-            for &c in clusters {
+        for &j in &schedule.steps {
+            frame.clear();
+            for &c in &schedule.clusters_at[j] {
                 for &v in state.members_at_layer(c, stage - 1) {
                     if let Some(payload) = &holding[v] {
-                        senders.insert(v, wrap(c, payload));
+                        frame.add_sender(v, wrap(c, payload));
                     }
                 }
                 for &v in state.members_at_layer(c, stage) {
-                    receivers.insert(v);
+                    frame.add_receiver(v);
                 }
             }
-            if senders.is_empty() && receivers.is_empty() {
+            if frame.senders().is_empty() && frame.receivers().is_empty() {
                 continue;
             }
-            let delivered = parent.local_broadcast(&senders, &receivers);
-            for (v, m) in delivered {
-                let (c, payload) = unwrap(&m);
+            parent.local_broadcast(frame);
+            for (v, m) in frame.delivered().iter() {
+                let (c, payload) = unwrap(m);
                 if c == state.cluster_of[v] && holding[v].is_none() {
                     holding[v] = Some(payload);
                 }
@@ -110,56 +126,59 @@ pub fn down_cast(
 }
 
 /// Up-cast: every cluster in `participating` whose members include at least
-/// one holder of a message (given in `messages`, keyed by node) delivers one
-/// such message to its center.
+/// one holder of a message (given in `messages`, keyed by parent node)
+/// delivers one such message to its center. `frame` is the Local-Broadcast
+/// scratch, sized for the parent network.
 ///
-/// Returns the message received by each participating cluster's center
-/// (keyed by cluster index). Clusters with no holders are absent from the
+/// Returns the message received by each participating cluster's center,
+/// keyed by cluster index. Clusters with no holders are absent from the
 /// result.
 pub fn up_cast(
     parent: &mut dyn LbNetwork,
     state: &ClusterState,
-    participating: &HashSet<usize>,
-    messages: &HashMap<usize, Msg>,
-) -> HashMap<usize, Msg> {
+    participating: &NodeSet,
+    messages: &NodeSlots<Msg>,
+    frame: &mut LbFrame,
+) -> NodeSlots<Msg> {
     let n = state.num_nodes();
+    debug_assert_eq!(frame.num_nodes(), n, "cast frame must cover the parent");
+    let mut out: NodeSlots<Msg> = NodeSlots::new(state.num_clusters());
+    if participating.is_empty() {
+        return out;
+    }
     let mut holding: Vec<Option<Msg>> = vec![None; n];
-    for (&v, m) in messages {
-        if participating.contains(&state.cluster_of[v]) {
+    for (v, m) in messages.iter() {
+        if participating.contains(state.cluster_of[v]) {
             holding[v] = Some(m.clone());
         }
     }
-    let clusters: Vec<usize> = participating.iter().copied().collect();
-    if clusters.is_empty() {
-        return HashMap::new();
-    }
-    let step_map = steps_to_clusters(state, &clusters);
-    let mut steps: Vec<usize> = step_map.keys().copied().collect();
-    steps.sort_unstable();
+    let schedule = StepSchedule::build(state, participating.iter());
 
-    let max_stage = clusters.iter().map(|&c| state.radius(c)).max().unwrap_or(0);
+    let max_stage = participating
+        .iter()
+        .map(|c| state.radius(c))
+        .max()
+        .unwrap_or(0);
     // Stages walk from the deepest layer towards the center.
     for stage in (1..=max_stage).rev() {
-        for &j in &steps {
-            let step_clusters = &step_map[&j];
-            let mut senders: HashMap<usize, Msg> = HashMap::new();
-            let mut receivers: HashSet<usize> = HashSet::new();
-            for &c in step_clusters {
+        for &j in &schedule.steps {
+            frame.clear();
+            for &c in &schedule.clusters_at[j] {
                 for &v in state.members_at_layer(c, stage) {
                     if let Some(payload) = &holding[v] {
-                        senders.insert(v, wrap(c, payload));
+                        frame.add_sender(v, wrap(c, payload));
                     }
                 }
                 for &v in state.members_at_layer(c, stage - 1) {
-                    receivers.insert(v);
+                    frame.add_receiver(v);
                 }
             }
-            if senders.is_empty() && receivers.is_empty() {
+            if frame.senders().is_empty() && frame.receivers().is_empty() {
                 continue;
             }
-            let delivered = parent.local_broadcast(&senders, &receivers);
-            for (v, m) in delivered {
-                let (c, payload) = unwrap(&m);
+            parent.local_broadcast(frame);
+            for (v, m) in frame.delivered().iter() {
+                let (c, payload) = unwrap(m);
                 if c == state.cluster_of[v] && holding[v].is_none() {
                     holding[v] = Some(payload);
                 }
@@ -167,8 +186,7 @@ pub fn up_cast(
         }
     }
 
-    let mut out = HashMap::new();
-    for &c in &clusters {
+    for c in participating.iter() {
         if let Some(m) = &holding[state.centers[c]] {
             out.insert(c, m.clone());
         }
@@ -193,14 +211,27 @@ mod tests {
         (net, state)
     }
 
+    fn per_cluster_messages(state: &ClusterState, offset: u64) -> NodeSlots<Msg> {
+        let mut m = NodeSlots::new(state.num_clusters());
+        for c in 0..state.num_clusters() {
+            m.insert(c, Msg::words(&[offset + c as u64]));
+        }
+        m
+    }
+
+    fn all_clusters(state: &ClusterState) -> NodeSet {
+        let mut s = NodeSet::new(state.num_clusters());
+        s.extend(0..state.num_clusters());
+        s
+    }
+
     #[test]
     fn down_cast_reaches_every_member() {
         let g = generators::grid(10, 10);
         let (mut net, state) = setup(g, 4, 1);
-        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
-            .map(|c| (c, Msg::words(&[1000 + c as u64])))
-            .collect();
-        let holding = down_cast(&mut net, &state, &messages);
+        let messages = per_cluster_messages(&state, 1000);
+        let mut frame = net.new_frame();
+        let holding = down_cast(&mut net, &state, &messages, &mut frame);
         for (v, held) in holding.iter().enumerate() {
             let c = state.cluster_of[v];
             assert_eq!(
@@ -219,8 +250,10 @@ mod tests {
         if state.num_clusters() < 2 {
             return; // degenerate sample; other seeds cover the logic
         }
-        let messages: HashMap<usize, Msg> = [(0usize, Msg::words(&[7]))].into_iter().collect();
-        let holding = down_cast(&mut net, &state, &messages);
+        let mut messages = NodeSlots::new(state.num_clusters());
+        messages.insert(0, Msg::words(&[7]));
+        let mut frame = net.new_frame();
+        let holding = down_cast(&mut net, &state, &messages, &mut frame);
         for (v, held) in holding.iter().enumerate() {
             if state.cluster_of[v] != 0 {
                 assert!(held.is_none());
@@ -237,16 +270,18 @@ mod tests {
         let g = generators::grid(10, 10);
         let (mut net, state) = setup(g, 4, 3);
         // Every vertex of every cluster holds a message encoding its id.
-        let messages: HashMap<usize, Msg> = (0..state.num_nodes())
-            .map(|v| (v, Msg::words(&[v as u64])))
-            .collect();
-        let participating: HashSet<usize> = (0..state.num_clusters()).collect();
-        let received = up_cast(&mut net, &state, &participating, &messages);
+        let mut messages = NodeSlots::new(state.num_nodes());
+        for v in 0..state.num_nodes() {
+            messages.insert(v, Msg::words(&[v as u64]));
+        }
+        let participating = all_clusters(&state);
+        let mut frame = net.new_frame();
+        let received = up_cast(&mut net, &state, &participating, &messages, &mut frame);
         assert_eq!(received.len(), state.num_clusters());
-        for (c, m) in &received {
+        for (c, m) in received.iter() {
             let holder = m.word(0) as usize;
             assert_eq!(
-                state.cluster_of[holder], *c,
+                state.cluster_of[holder], c,
                 "cluster {c} got a foreign message"
             );
         }
@@ -268,10 +303,13 @@ mod tests {
             .iter()
             .max_by_key(|&&v| state.layer[v])
             .unwrap();
-        let messages: HashMap<usize, Msg> = [(deepest, Msg::words(&[4242]))].into_iter().collect();
-        let participating: HashSet<usize> = [c].into_iter().collect();
-        let received = up_cast(&mut net, &state, &participating, &messages);
-        assert_eq!(received.get(&c).map(|m| m.word(0)), Some(4242));
+        let mut messages = NodeSlots::new(state.num_nodes());
+        messages.insert(deepest, Msg::words(&[4242]));
+        let mut participating = NodeSet::new(state.num_clusters());
+        participating.insert(c);
+        let mut frame = net.new_frame();
+        let received = up_cast(&mut net, &state, &participating, &messages, &mut frame);
+        assert_eq!(received.get(c).map(|m| m.word(0)), Some(4242));
     }
 
     #[test]
@@ -282,9 +320,12 @@ mod tests {
             return;
         }
         let outsider = state.centers[1];
-        let messages: HashMap<usize, Msg> = [(outsider, Msg::words(&[5]))].into_iter().collect();
-        let participating: HashSet<usize> = [0usize].into_iter().collect();
-        let received = up_cast(&mut net, &state, &participating, &messages);
+        let mut messages = NodeSlots::new(state.num_nodes());
+        messages.insert(outsider, Msg::words(&[5]));
+        let mut participating = NodeSet::new(state.num_clusters());
+        participating.insert(0);
+        let mut frame = net.new_frame();
+        let received = up_cast(&mut net, &state, &participating, &messages, &mut frame);
         assert!(received.is_empty());
     }
 
@@ -295,10 +336,9 @@ mod tests {
         let g = generators::grid(14, 14);
         let (mut net, state) = setup(g, 4, 6);
         let before: Vec<u64> = (0..state.num_nodes()).map(|v| net.lb_energy(v)).collect();
-        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
-            .map(|c| (c, Msg::words(&[c as u64])))
-            .collect();
-        let _ = down_cast(&mut net, &state, &messages);
+        let messages = per_cluster_messages(&state, 0);
+        let mut frame = net.new_frame();
+        let _ = down_cast(&mut net, &state, &messages, &mut frame);
         for (v, &already_used) in before.iter().enumerate() {
             let used = net.lb_energy(v) - already_used;
             let s_len = state.s_sets[state.cluster_of[v]].len() as u64;

@@ -17,21 +17,35 @@
 //! per virtual call, exactly the overhead the paper charges in
 //! equation (3).
 
-use std::collections::{HashMap, HashSet};
+use radio_sim::{NodeSet, NodeSlots};
 
 use crate::cast::{down_cast, up_cast};
 use crate::clustering::ClusterState;
-use crate::lb::LbNetwork;
+use crate::lb::{LbFrame, LbNetwork};
 use crate::ledger::LbLedger;
 use crate::message::Msg;
 
 /// A virtual radio network whose nodes are the clusters of a
 /// [`ClusterState`] over some parent [`LbNetwork`].
+///
+/// The net owns the scratch buffers for the parent-level plumbing — one
+/// parent-sized [`LbFrame`] driven through both casts and the crossing
+/// call, a holder arena for the crossing deliveries, and the participating
+/// cluster set — so a long sequence of virtual calls (the normal case in
+/// the recursive BFS) allocates nothing per call.
 pub struct VirtualClusterNet<'a> {
     parent: &'a mut dyn LbNetwork,
     state: &'a ClusterState,
     ledger: LbLedger,
     global_n: usize,
+    /// Scratch frame over the parent's nodes, reused by every cast and
+    /// crossing Local-Broadcast of every virtual call.
+    parent_frame: LbFrame,
+    /// Crossing-call deliveries, held while `parent_frame` is reused by the
+    /// up-cast (swapped, not cloned).
+    crossed: NodeSlots<Msg>,
+    /// Receiving clusters of the current call.
+    participating: NodeSet,
 }
 
 impl<'a> VirtualClusterNet<'a> {
@@ -39,11 +53,17 @@ impl<'a> VirtualClusterNet<'a> {
     pub fn new(parent: &'a mut dyn LbNetwork, state: &'a ClusterState) -> Self {
         let global_n = parent.global_n();
         let ledger = LbLedger::new(state.num_clusters());
+        let parent_frame = parent.new_frame();
+        let crossed = NodeSlots::new(parent.num_nodes());
+        let participating = NodeSet::new(state.num_clusters());
         VirtualClusterNet {
             parent,
             state,
             ledger,
             global_n,
+            parent_frame,
+            crossed,
+            participating,
         }
     }
 
@@ -74,50 +94,59 @@ impl LbNetwork for VirtualClusterNet<'_> {
         self.global_n
     }
 
-    fn local_broadcast(
-        &mut self,
-        senders: &HashMap<usize, Msg>,
-        receivers: &HashSet<usize>,
-    ) -> HashMap<usize, Msg> {
+    fn local_broadcast(&mut self, frame: &mut LbFrame) {
+        frame.clear_delivered();
         self.ledger
-            .record_call(senders.keys().copied(), receivers.iter().copied());
+            .record_call(frame.senders().keys().iter(), frame.receivers().iter());
 
         // Step 1: Down-cast the senders' messages within their clusters.
-        let holding = down_cast(self.parent, self.state, senders);
+        let holding = down_cast(
+            &mut *self.parent,
+            self.state,
+            frame.senders(),
+            &mut self.parent_frame,
+        );
 
         // Step 2: one Local-Broadcast on the parent network between the
         // member sets.
-        let mut parent_senders: HashMap<usize, Msg> = HashMap::new();
-        for &c in senders.keys() {
+        self.parent_frame.clear();
+        for (c, _) in frame.senders().iter() {
             for v in self.state.members(c) {
                 if let Some(m) = &holding[v] {
-                    parent_senders.insert(v, m.clone());
+                    self.parent_frame.add_sender(v, m.clone());
                 }
             }
         }
-        let mut parent_receivers: HashSet<usize> = HashSet::new();
-        for &c in receivers {
-            if senders.contains_key(&c) {
+        for c in frame.receivers().iter() {
+            if frame.senders().contains(c) {
                 continue;
             }
             for v in self.state.members(c) {
-                parent_receivers.insert(v);
+                self.parent_frame.add_receiver(v);
             }
         }
-        let crossed = if parent_senders.is_empty() && parent_receivers.is_empty() {
-            HashMap::new()
-        } else {
-            self.parent
-                .local_broadcast(&parent_senders, &parent_receivers)
-        };
+        if !(self.parent_frame.senders().is_empty() && self.parent_frame.receivers().is_empty()) {
+            self.parent.local_broadcast(&mut self.parent_frame);
+        }
+        // Hold the crossing deliveries while the frame is reused below.
+        self.crossed.clear();
+        self.parent_frame.swap_delivered(&mut self.crossed);
 
         // Step 3: Up-cast within the receiving clusters.
-        let participating: HashSet<usize> = receivers
-            .iter()
-            .copied()
-            .filter(|c| !senders.contains_key(c))
-            .collect();
-        up_cast(self.parent, self.state, &participating, &crossed)
+        self.participating.clear();
+        for c in frame.receivers().iter() {
+            if !frame.senders().contains(c) {
+                self.participating.insert(c);
+            }
+        }
+        let at_centers = up_cast(
+            &mut *self.parent,
+            self.state,
+            &self.participating,
+            &self.crossed,
+            &mut self.parent_frame,
+        );
+        frame.replace_delivered(at_centers);
     }
 
     fn lb_energy(&self, v: usize) -> u64 {
@@ -133,7 +162,7 @@ impl LbNetwork for VirtualClusterNet<'_> {
 mod tests {
     use super::*;
     use crate::clustering::{cluster_distributed, ClusteringConfig};
-    use crate::lb::AbstractLbNetwork;
+    use crate::lb::{local_broadcast_once, AbstractLbNetwork};
     use radio_graph::bfs::bfs_distances;
     use radio_graph::generators;
     use rand::SeedableRng;
@@ -157,10 +186,8 @@ mod tests {
         }
         let (a, b) = quotient.edges().next().unwrap();
         let mut virt = VirtualClusterNet::new(&mut net, &state);
-        let senders: HashMap<usize, Msg> = [(a, Msg::words(&[77]))].into_iter().collect();
-        let receivers: HashSet<usize> = [b].into_iter().collect();
-        let out = virt.local_broadcast(&senders, &receivers);
-        assert_eq!(out.get(&b).map(|m| m.word(0)), Some(77));
+        let out = local_broadcast_once(&mut virt, &[(a, Msg::words(&[77]))], &[b]);
+        assert_eq!(out.get(b).map(|m| m.word(0)), Some(77));
         assert_eq!(virt.lb_time(), 1);
         assert_eq!(virt.lb_energy(a), 1);
         assert_eq!(virt.lb_energy(b), 1);
@@ -182,9 +209,7 @@ mod tests {
             return;
         };
         let mut virt = VirtualClusterNet::new(&mut net, &state);
-        let senders: HashMap<usize, Msg> = [(0usize, Msg::words(&[5]))].into_iter().collect();
-        let receivers: HashSet<usize> = [far].into_iter().collect();
-        let out = virt.local_broadcast(&senders, &receivers);
+        let out = local_broadcast_once(&mut virt, &[(0usize, Msg::words(&[5]))], &[far]);
         assert!(out.is_empty());
     }
 
@@ -202,14 +227,13 @@ mod tests {
         }
         for target in 0..k.min(4) {
             let mut virt = VirtualClusterNet::new(&mut net, &state);
-            let senders: HashMap<usize, Msg> = (0..k)
+            let senders: Vec<(usize, Msg)> = (0..k)
                 .filter(|&c| c != target)
                 .map(|c| (c, Msg::words(&[c as u64])))
                 .collect();
-            let receivers: HashSet<usize> = [target].into_iter().collect();
-            let out = virt.local_broadcast(&senders, &receivers);
+            let out = local_broadcast_once(&mut virt, &senders, &[target]);
             if quotient.degree(target) > 0 {
-                let heard = out.get(&target).expect("adjacent sender exists").word(0) as usize;
+                let heard = out.get(target).expect("adjacent sender exists").word(0) as usize;
                 assert!(
                     quotient.has_edge(target, heard),
                     "cluster {target} heard non-neighbour {heard}"
@@ -234,9 +258,7 @@ mod tests {
         let (a, b) = quotient.edges().next().unwrap();
         {
             let mut virt = VirtualClusterNet::new(&mut net, &state);
-            let senders: HashMap<usize, Msg> = [(a, Msg::words(&[1]))].into_iter().collect();
-            let receivers: HashSet<usize> = [b].into_iter().collect();
-            let _ = virt.local_broadcast(&senders, &receivers);
+            let _ = local_broadcast_once(&mut virt, &[(a, Msg::words(&[1]))], &[b]);
         }
         // One virtual call = down-cast + one crossing LB + up-cast; each
         // cast charges a vertex at most one participation per index of its

@@ -15,8 +15,6 @@
 //! standard derandomization-by-seed trick and preserves the property (2)
 //! the casts rely on.
 
-use std::collections::{HashMap, HashSet};
-
 use radio_graph::exponential::{sample_exponential, start_time};
 use rand::Rng;
 use rand::SeedableRng;
@@ -270,6 +268,8 @@ pub fn cluster_distributed<R: Rng + ?Sized>(
     by_start.sort_by_key(|&v| start_times[v]);
     let mut next_start_idx = 0usize;
     let mut clustered_count = 0usize;
+    // One frame reused across every growth round.
+    let mut frame = net.new_frame();
 
     for round in 1..=rounds {
         if clustered_count == n {
@@ -292,19 +292,20 @@ pub fn cluster_distributed<R: Rng + ?Sized>(
         }
         // One Local-Broadcast: clustered vertices advertise
         // (cluster id, layer, tag); unclustered vertices listen.
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| cluster_of[v] != usize::MAX)
-            .map(|v| {
-                let c = cluster_of[v];
-                (v, Msg::words(&[c as u64, layer[v] as u64, tags[c]]))
-            })
-            .collect();
-        let receivers: HashSet<usize> = (0..n).filter(|&v| cluster_of[v] == usize::MAX).collect();
-        if receivers.is_empty() {
+        frame.clear();
+        for v in 0..n {
+            let c = cluster_of[v];
+            if c != usize::MAX {
+                frame.add_sender(v, Msg::words(&[c as u64, layer[v] as u64, tags[c]]));
+            } else {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.receivers().is_empty() {
             break;
         }
-        let delivered = net.local_broadcast(&senders, &receivers);
-        for (v, m) in delivered {
+        net.local_broadcast(&mut frame);
+        for (v, m) in frame.delivered().iter() {
             if cluster_of[v] == usize::MAX {
                 let c = m.word(0) as usize;
                 cluster_of[v] = c;

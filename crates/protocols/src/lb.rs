@@ -9,17 +9,29 @@
 //! builds virtual networks on top of virtual networks to an arbitrary,
 //! runtime-chosen depth, so composition happens through `&mut dyn
 //! LbNetwork` rather than through generics.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Calls operate on a reusable [`LbFrame`] (a dense
+//! [`RoundFrame`](radio_sim::RoundFrame) over the network's nodes): the
+//! caller fills senders and receivers, the backend writes deliveries into
+//! `frame.delivered()`. Because the frame's sets iterate in ascending node
+//! order *by construction*, seeded runs are reproducible without any
+//! per-call sort, and a frame held across the thousands of calls a protocol
+//! makes costs zero allocations after the first.
 
 use radio_graph::Graph;
-use radio_sim::{decay_local_broadcast, DecayParams, RadioNetwork};
+use radio_sim::{
+    decay_local_broadcast, DecayParams, DecayScratch, NodeSlots, RadioNetwork, RoundFrame,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::ledger::LbLedger;
 use crate::message::Msg;
+
+/// The round frame all Local-Broadcast calls operate on: senders with their
+/// [`Msg`] payloads, receivers, and the delivered output.
+pub type LbFrame = RoundFrame<Msg>;
 
 /// A network on which Local-Broadcast can be invoked.
 ///
@@ -35,14 +47,10 @@ pub trait LbNetwork {
     /// network; all polylogarithmic parameters are functions of this.
     fn global_n(&self) -> usize;
 
-    /// Executes one Local-Broadcast with sender messages `senders` and
-    /// receiver set `receivers`. Returns, for each receiver that heard a
-    /// message, the message it heard.
-    fn local_broadcast(
-        &mut self,
-        senders: &HashMap<usize, Msg>,
-        receivers: &HashSet<usize>,
-    ) -> HashMap<usize, Msg>;
+    /// Executes one Local-Broadcast over `frame`: senders and receivers are
+    /// read from the frame, and the message each receiver heard (if any) is
+    /// written into `frame.delivered()` (cleared on entry).
+    fn local_broadcast(&mut self, frame: &mut LbFrame);
 
     /// Energy of node `v` in Local-Broadcast units (number of calls on this
     /// network in which `v` participated).
@@ -58,6 +66,34 @@ pub trait LbNetwork {
             .max()
             .unwrap_or(0)
     }
+
+    /// Allocates a frame sized for this network. Callers should hold on to
+    /// it and `clear`/refill across calls rather than allocating per call.
+    fn new_frame(&self) -> LbFrame {
+        LbFrame::new(self.num_nodes())
+    }
+}
+
+/// Convenience for tests and one-off calls: runs one Local-Broadcast with a
+/// freshly allocated frame and returns the deliveries. Hot paths should
+/// hold their own [`LbFrame`] and call
+/// [`LbNetwork::local_broadcast`] directly.
+pub fn local_broadcast_once(
+    net: &mut dyn LbNetwork,
+    senders: &[(usize, Msg)],
+    receivers: &[usize],
+) -> NodeSlots<Msg> {
+    let mut frame = net.new_frame();
+    for (v, m) in senders {
+        frame.add_sender(*v, m.clone());
+    }
+    for &v in receivers {
+        frame.add_receiver(v);
+    }
+    net.local_broadcast(&mut frame);
+    let mut out = NodeSlots::new(frame.num_nodes());
+    frame.swap_delivered(&mut out);
+    out
 }
 
 /// The accounting back-end used by the paper's analysis: each call costs one
@@ -122,34 +158,27 @@ impl LbNetwork for AbstractLbNetwork {
         self.global_n
     }
 
-    fn local_broadcast(
-        &mut self,
-        senders: &HashMap<usize, Msg>,
-        receivers: &HashSet<usize>,
-    ) -> HashMap<usize, Msg> {
+    fn local_broadcast(&mut self, frame: &mut LbFrame) {
+        frame.clear_delivered();
+        let (senders, receivers, delivered) = frame.parts_mut();
         self.ledger
-            .record_call(senders.keys().copied(), receivers.iter().copied());
-        let mut delivered = HashMap::new();
-        // Iterate receivers in node order: the RNG stream must map to
-        // receivers deterministically, or seeded runs differ across
-        // processes (HashSet iteration order is randomized per process).
-        let mut ordered: Vec<usize> = receivers.iter().copied().collect();
-        ordered.sort_unstable();
-        for r in ordered {
-            if senders.contains_key(&r) {
+            .record_call(senders.keys().iter(), receivers.iter());
+        // Receivers are visited in ascending node order — the frame's
+        // iteration order by construction — so the RNG stream maps to
+        // receivers deterministically on every run.
+        for r in receivers.iter() {
+            if senders.contains(r) {
                 // Sender/receiver sets are required to be disjoint; a vertex
                 // listed in both acts as a sender only.
                 continue;
             }
-            // Collect sending neighbours.
-            let sending: Vec<usize> = self
-                .graph
-                .neighbors(r)
-                .iter()
-                .copied()
-                .filter(|u| senders.contains_key(u))
-                .collect();
-            if sending.is_empty() {
+            // Count sending neighbours columnar: one pass over the CSR
+            // adjacency against the sender occupancy bitset.
+            let mut count = 0usize;
+            for &u in self.graph.neighbors(r) {
+                count += usize::from(senders.contains(u));
+            }
+            if count == 0 {
                 continue;
             }
             if self.failure_prob > 0.0 && self.rng.gen_bool(self.failure_prob) {
@@ -157,10 +186,18 @@ impl LbNetwork for AbstractLbNetwork {
             }
             // The specification only promises *some* neighbour's message; we
             // pick uniformly to avoid accidental reliance on a tie-break.
-            let pick = sending[self.rng.gen_range(0..sending.len())];
-            delivered.insert(r, senders[&pick].clone());
+            let pick = self.rng.gen_range(0..count);
+            let mut seen = 0usize;
+            for &u in self.graph.neighbors(r) {
+                if senders.contains(u) {
+                    if seen == pick {
+                        delivered.insert(r, senders.get(u).expect("occupied sender").clone());
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
         }
-        delivered
     }
 
     fn lb_energy(&self, v: usize) -> u64 {
@@ -181,6 +218,7 @@ pub struct PhysicalLbNetwork {
     global_n: usize,
     decay: DecayParams,
     ledger: LbLedger,
+    scratch: DecayScratch<Msg>,
     rng: ChaCha8Rng,
 }
 
@@ -196,6 +234,7 @@ impl PhysicalLbNetwork {
             global_n: n.max(2),
             decay,
             ledger: LbLedger::new(n),
+            scratch: DecayScratch::new(n),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
     }
@@ -247,16 +286,16 @@ impl LbNetwork for PhysicalLbNetwork {
         self.global_n
     }
 
-    fn local_broadcast(
-        &mut self,
-        senders: &HashMap<usize, Msg>,
-        receivers: &HashSet<usize>,
-    ) -> HashMap<usize, Msg> {
+    fn local_broadcast(&mut self, frame: &mut LbFrame) {
         self.ledger
-            .record_call(senders.keys().copied(), receivers.iter().copied());
-        let outcome =
-            decay_local_broadcast(&mut self.net, senders, receivers, self.decay, &mut self.rng);
-        outcome.received
+            .record_call(frame.senders().keys().iter(), frame.receivers().iter());
+        decay_local_broadcast(
+            &mut self.net,
+            frame,
+            &mut self.scratch,
+            self.decay,
+            &mut self.rng,
+        );
     }
 
     fn lb_energy(&self, v: usize) -> u64 {
@@ -281,11 +320,9 @@ mod tests {
     fn abstract_delivery_follows_spec() {
         let g = generators::path(4); // 0-1-2-3
         let mut net = AbstractLbNetwork::new(g);
-        let senders: HashMap<_, _> = [(0, msg(10)), (3, msg(30))].into_iter().collect();
-        let receivers: HashSet<_> = [1, 2].into_iter().collect();
-        let out = net.local_broadcast(&senders, &receivers);
-        assert_eq!(out[&1], msg(10));
-        assert_eq!(out[&2], msg(30));
+        let out = local_broadcast_once(&mut net, &[(0, msg(10)), (3, msg(30))], &[1, 2]);
+        assert_eq!(out.get(1), Some(&msg(10)));
+        assert_eq!(out.get(2), Some(&msg(30)));
         assert_eq!(net.lb_time(), 1);
         assert_eq!(net.lb_energy(0), 1);
         assert_eq!(net.lb_energy(1), 1);
@@ -296,9 +333,7 @@ mod tests {
     fn abstract_receiver_without_sending_neighbor_gets_nothing() {
         let g = generators::path(4);
         let mut net = AbstractLbNetwork::new(g);
-        let senders: HashMap<_, _> = [(0, msg(1))].into_iter().collect();
-        let receivers: HashSet<_> = [3].into_iter().collect();
-        let out = net.local_broadcast(&senders, &receivers);
+        let out = local_broadcast_once(&mut net, &[(0, msg(1))], &[3]);
         assert!(out.is_empty());
         // The hopeless receiver still pays for participating.
         assert_eq!(net.lb_energy(3), 1);
@@ -308,10 +343,9 @@ mod tests {
     fn abstract_receiver_with_multiple_senders_hears_one_of_them() {
         let g = generators::star(5);
         let mut net = AbstractLbNetwork::new(g).with_failures(0.0, 7);
-        let senders: HashMap<_, _> = (1..5).map(|v| (v, msg(v as u64))).collect();
-        let receivers: HashSet<_> = [0].into_iter().collect();
-        let out = net.local_broadcast(&senders, &receivers);
-        let heard = out[&0].word(0);
+        let senders: Vec<(usize, Msg)> = (1..5).map(|v| (v, msg(v as u64))).collect();
+        let out = local_broadcast_once(&mut net, &senders, &[0]);
+        let heard = out.get(0).expect("delivered").word(0);
         assert!((1..5).contains(&(heard as usize)));
     }
 
@@ -319,11 +353,14 @@ mod tests {
     fn abstract_failures_do_fail_sometimes() {
         let g = generators::path(2);
         let mut net = AbstractLbNetwork::new(g).with_failures(0.5, 3);
-        let senders: HashMap<_, _> = [(0, msg(1))].into_iter().collect();
-        let receivers: HashSet<_> = [1].into_iter().collect();
+        let mut frame = net.new_frame();
         let mut hits = 0;
         for _ in 0..200 {
-            if !net.local_broadcast(&senders, &receivers).is_empty() {
+            frame.clear();
+            frame.add_sender(0, msg(1));
+            frame.add_receiver(1);
+            net.local_broadcast(&mut frame);
+            if !frame.delivered().is_empty() {
                 hits += 1;
             }
         }
@@ -334,22 +371,18 @@ mod tests {
     fn sender_listed_as_receiver_is_ignored_as_receiver() {
         let g = generators::path(3);
         let mut net = AbstractLbNetwork::new(g);
-        let senders: HashMap<_, _> = [(0, msg(1)), (1, msg(2))].into_iter().collect();
-        let receivers: HashSet<_> = [1, 2].into_iter().collect();
-        let out = net.local_broadcast(&senders, &receivers);
-        assert!(!out.contains_key(&1));
-        assert_eq!(out[&2], msg(2));
+        let out = local_broadcast_once(&mut net, &[(0, msg(1)), (1, msg(2))], &[1, 2]);
+        assert!(!out.contains(1));
+        assert_eq!(out.get(2), Some(&msg(2)));
     }
 
     #[test]
     fn physical_backend_delivers_and_charges_slots() {
         let g = generators::path(3);
         let mut net = PhysicalLbNetwork::new(g, 42);
-        let senders: HashMap<_, _> = [(0, msg(9))].into_iter().collect();
-        let receivers: HashSet<_> = [1, 2].into_iter().collect();
-        let out = net.local_broadcast(&senders, &receivers);
-        assert_eq!(out.get(&1), Some(&msg(9)));
-        assert_eq!(out.get(&2), None);
+        let out = local_broadcast_once(&mut net, &[(0, msg(9))], &[1, 2]);
+        assert_eq!(out.get(1), Some(&msg(9)));
+        assert_eq!(out.get(2), None);
         assert_eq!(net.lb_time(), 1);
         assert_eq!(net.lb_energy(0), 1);
         // Physical energy is the Lemma 2.4 expansion: strictly more than one
@@ -361,15 +394,53 @@ mod tests {
     #[test]
     fn physical_and_abstract_agree_on_lb_unit_accounting() {
         let g = generators::grid(3, 3);
-        let senders: HashMap<_, _> = [(0, msg(1)), (4, msg(2))].into_iter().collect();
-        let receivers: HashSet<_> = [1, 3, 5, 7].into_iter().collect();
+        let senders = [(0, msg(1)), (4, msg(2))];
+        let receivers = [1, 3, 5, 7];
         let mut a = AbstractLbNetwork::new(g.clone());
         let mut p = PhysicalLbNetwork::new(g, 1);
-        a.local_broadcast(&senders, &receivers);
-        p.local_broadcast(&senders, &receivers);
+        local_broadcast_once(&mut a, &senders, &receivers);
+        local_broadcast_once(&mut p, &senders, &receivers);
         for v in 0..9 {
             assert_eq!(a.lb_energy(v), p.lb_energy(v), "node {v}");
         }
         assert_eq!(a.lb_time(), p.lb_time());
+    }
+
+    #[test]
+    fn reused_frame_is_equivalent_to_fresh_frames() {
+        // One frame reused across calls must behave exactly like fresh
+        // frames per call (same deliveries, same ledger) on a reliable net.
+        let g = generators::grid(4, 4);
+        let mut a = AbstractLbNetwork::new(g.clone());
+        let mut b = AbstractLbNetwork::new(g);
+        let mut reused = a.new_frame();
+        for round in 0..8u64 {
+            let senders: Vec<(usize, Msg)> = (0..16)
+                .filter(|v| (v + round as usize).is_multiple_of(3))
+                .map(|v| (v, msg(round)))
+                .collect();
+            let receivers: Vec<usize> = (0..16)
+                .filter(|v| !(v + round as usize).is_multiple_of(3))
+                .collect();
+            reused.clear();
+            for (v, m) in &senders {
+                reused.add_sender(*v, m.clone());
+            }
+            for &v in &receivers {
+                reused.add_receiver(v);
+            }
+            a.local_broadcast(&mut reused);
+            let fresh = local_broadcast_once(&mut b, &senders, &receivers);
+            let got: Vec<(usize, Msg)> = reused
+                .delivered()
+                .iter()
+                .map(|(v, m)| (v, m.clone()))
+                .collect();
+            let want: Vec<(usize, Msg)> = fresh.iter().map(|(v, m)| (v, m.clone())).collect();
+            assert_eq!(got, want, "round {round}");
+        }
+        for v in 0..16 {
+            assert_eq!(a.lb_energy(v), b.lb_energy(v));
+        }
     }
 }

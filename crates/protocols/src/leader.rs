@@ -17,8 +17,6 @@
 //!   zero energy cost, and the experiments report the `Õ(1)` black-box cost
 //!   as a separate line item.
 
-use std::collections::{HashMap, HashSet};
-
 use crate::lb::LbNetwork;
 use crate::message::Msg;
 
@@ -62,26 +60,31 @@ pub fn single_hop_leader_election(
     let mut calls = 0u64;
     // Candidates are devices whose identifier still matches the prefix.
     let mut candidate: Vec<bool> = vec![true; n];
+    // One frame reused across all ⌈log₂ N⌉ existence queries.
+    let mut frame = net.new_frame();
 
     for bit in (0..bits).rev() {
         // Query: does any candidate have this bit equal to 0?
-        let senders: HashMap<usize, Msg> = (0..n)
-            .filter(|&v| candidate[v] && (ids[v] >> bit) & 1 == 0)
-            .map(|v| (v, Msg::words(&[1])))
-            .collect();
-        let receivers: HashSet<usize> = (0..n).filter(|&v| !senders.contains_key(&v)).collect();
-        let delivered = net.local_broadcast(&senders, &receivers);
+        frame.clear();
+        for v in 0..n {
+            if candidate[v] && (ids[v] >> bit) & 1 == 0 {
+                frame.add_sender(v, Msg::words(&[1]));
+            } else {
+                frame.add_receiver(v);
+            }
+        }
+        net.local_broadcast(&mut frame);
         calls += 1;
         // Every device learns the answer: senders know it trivially; a
         // listener knows it iff it heard something (in a clique, one sender
         // suffices for everyone to hear).
-        let zero_exists = !senders.is_empty();
+        let zero_exists = !frame.senders().is_empty();
         // Soundness check of the single-hop assumption: if a sender exists,
         // every listening device must have heard it.
         if zero_exists {
-            for &r in &receivers {
+            for r in frame.receivers().iter() {
                 assert!(
-                    delivered.contains_key(&r),
+                    frame.delivered().contains(r),
                     "device {r} missed an existence query: the network is not single-hop \
                      (or Local-Broadcast failed)"
                 );

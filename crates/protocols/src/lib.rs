@@ -38,6 +38,9 @@ pub mod message;
 
 pub use cluster_net::VirtualClusterNet;
 pub use clustering::{cluster_distributed, ClusterState, ClusteringConfig};
-pub use lb::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
+pub use lb::{local_broadcast_once, AbstractLbNetwork, LbFrame, LbNetwork, PhysicalLbNetwork};
 pub use ledger::LbLedger;
 pub use message::Msg;
+// Re-exported so protocol callers can build cast/sweep inputs without
+// depending on `radio-sim` directly.
+pub use radio_sim::{NodeSet, NodeSlots};

@@ -1,15 +1,24 @@
 //! Property-based tests for the Local-Broadcast layer: the delivery
-//! specification of the abstract backend, the ledger arithmetic, and the
+//! specification of the abstract backend, the ledger arithmetic, the
 //! structural guarantees of the distributed clustering and the casts on
-//! randomly generated connected graphs.
+//! randomly generated connected graphs — and the equivalence of the dense
+//! frame-based engine with a straightforward map-based reference
+//! implementation of the Local-Broadcast specification.
 
 use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
 use radio_graph::{generators, Graph};
 use radio_protocols::cast::{down_cast, up_cast};
-use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg};
+use radio_protocols::{
+    cluster_distributed, local_broadcast_once, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
+    NodeSet, NodeSlots,
+};
 
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
     (
@@ -18,8 +27,7 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
         proptest::collection::vec((0usize..30, 0usize..30), 0..40),
     )
         .prop_map(|(n, seed, extra)| {
-            use rand::SeedableRng;
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let tree = generators::random_tree(n, &mut rng);
             let mut edges: Vec<(usize, usize)> = tree.edges().collect();
             for (u, v) in extra {
@@ -29,6 +37,40 @@ fn arb_connected_graph() -> impl Strategy<Value = Graph> {
             }
             Graph::from_edges(n, &edges)
         })
+}
+
+/// A straightforward map-based reference implementation of one reliable
+/// Local-Broadcast call — the representation the seed repository used —
+/// kept here purely as an executable specification for the frame engine.
+/// Iterates receivers in sorted order and draws the uniform sender pick
+/// from the same RNG discipline as `AbstractLbNetwork`, so a reliable
+/// frame-based call must reproduce it exactly.
+fn reference_local_broadcast(
+    g: &Graph,
+    senders: &HashMap<usize, Msg>,
+    receivers: &HashSet<usize>,
+    rng: &mut ChaCha8Rng,
+) -> HashMap<usize, Msg> {
+    let mut delivered = HashMap::new();
+    let mut ordered: Vec<usize> = receivers.iter().copied().collect();
+    ordered.sort_unstable();
+    for r in ordered {
+        if senders.contains_key(&r) {
+            continue;
+        }
+        let sending: Vec<usize> = g
+            .neighbors(r)
+            .iter()
+            .copied()
+            .filter(|u| senders.contains_key(u))
+            .collect();
+        if sending.is_empty() {
+            continue;
+        }
+        let pick = sending[rng.gen_range(0..sending.len())];
+        delivered.insert(r, senders[&pick].clone());
+    }
+    delivered
 }
 
 proptest! {
@@ -41,43 +83,85 @@ proptest! {
         receiver_bits in proptest::collection::vec(any::<bool>(), 30),
     ) {
         let n = g.num_nodes();
-        let senders: HashMap<usize, Msg> = (0..n)
+        let senders: Vec<(usize, Msg)> = (0..n)
             .filter(|&v| sender_bits[v % sender_bits.len()])
             .map(|v| (v, Msg::words(&[v as u64])))
             .collect();
-        let receivers: HashSet<usize> = (0..n)
-            .filter(|&v| receiver_bits[v % receiver_bits.len()] && !senders.contains_key(&v))
+        let sender_ids: HashSet<usize> = senders.iter().map(|&(v, _)| v).collect();
+        let receivers: Vec<usize> = (0..n)
+            .filter(|&v| receiver_bits[v % receiver_bits.len()] && !sender_ids.contains(&v))
             .collect();
         let mut net = AbstractLbNetwork::new(g.clone());
-        let out = net.local_broadcast(&senders, &receivers);
+        let out = local_broadcast_once(&mut net, &senders, &receivers);
         for &r in &receivers {
-            let has_sending_neighbor = g.neighbors(r).iter().any(|u| senders.contains_key(u));
-            match out.get(&r) {
+            let has_sending_neighbor = g.neighbors(r).iter().any(|u| sender_ids.contains(u));
+            match out.get(r) {
                 Some(m) => {
                     // The message must come from an actual sending neighbour.
                     let from = m.word(0) as usize;
                     prop_assert!(g.has_edge(r, from));
-                    prop_assert!(senders.contains_key(&from));
+                    prop_assert!(sender_ids.contains(&from));
                 }
                 None => prop_assert!(!has_sending_neighbor, "receiver {} missed a delivery", r),
             }
         }
         // Non-receivers never appear in the output.
-        for v in out.keys() {
-            prop_assert!(receivers.contains(v));
+        for (v, _) in out.iter() {
+            prop_assert!(receivers.contains(&v));
         }
         // Ledger: exactly one call, every participant charged exactly once.
         prop_assert_eq!(net.lb_time(), 1);
         for v in 0..n {
-            let expected = u64::from(senders.contains_key(&v) || receivers.contains(&v));
+            let expected = u64::from(sender_ids.contains(&v) || receivers.contains(&v));
+            prop_assert_eq!(net.lb_energy(v), expected);
+        }
+    }
+
+    /// Cross-backend equivalence: on seeded instances, the frame-based
+    /// engine delivers exactly the receiver → message outcomes of the
+    /// map-based reference implementation (same RNG seed), and charges the
+    /// same per-node energy.
+    #[test]
+    fn frame_engine_matches_map_reference(
+        g in arb_connected_graph(),
+        seed in 0u64..1000,
+        sender_bits in proptest::collection::vec(any::<bool>(), 30),
+        receiver_bits in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let n = g.num_nodes();
+        let sender_map: HashMap<usize, Msg> = (0..n)
+            .filter(|&v| sender_bits[v % sender_bits.len()])
+            .map(|v| (v, Msg::words(&[100 + v as u64])))
+            .collect();
+        let receiver_set: HashSet<usize> = (0..n)
+            .filter(|&v| receiver_bits[v % receiver_bits.len()] && !sender_map.contains_key(&v))
+            .collect();
+
+        // Frame engine, seeded.
+        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+        let senders: Vec<(usize, Msg)> =
+            sender_map.iter().map(|(&v, m)| (v, m.clone())).collect();
+        let receivers: Vec<usize> = receiver_set.iter().copied().collect();
+        let out = local_broadcast_once(&mut net, &senders, &receivers);
+
+        // Reference, same seed. `with_failures(0.0, seed)` reseeds the
+        // network's RNG, whose only draws are the per-receiver picks.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let want = reference_local_broadcast(&g, &sender_map, &receiver_set, &mut rng);
+
+        let got: HashMap<usize, Msg> = out.iter().map(|(v, m)| (v, m.clone())).collect();
+        prop_assert_eq!(got, want);
+
+        // Energy parity with the specification's accounting.
+        for v in 0..n {
+            let expected = u64::from(sender_map.contains_key(&v) || receiver_set.contains(&v));
             prop_assert_eq!(net.lb_energy(v), expected);
         }
     }
 
     #[test]
     fn clustering_partitions_any_connected_graph(g in arb_connected_graph(), seed in 0u64..500) {
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut net = AbstractLbNetwork::new(g.clone());
         let cfg = ClusteringConfig::new(3);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
@@ -93,17 +177,18 @@ proptest! {
 
     #[test]
     fn down_cast_then_up_cast_roundtrip(g in arb_connected_graph(), seed in 0u64..500) {
-        use rand::SeedableRng;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut net = AbstractLbNetwork::new(g.clone());
         let cfg = ClusteringConfig::new(3);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
+        let mut frame = net.new_frame();
 
         // Down-cast a per-cluster token to every member...
-        let messages: HashMap<usize, Msg> = (0..state.num_clusters())
-            .map(|c| (c, Msg::words(&[7000 + c as u64])))
-            .collect();
-        let holding = down_cast(&mut net, &state, &messages);
+        let mut messages: NodeSlots<Msg> = NodeSlots::new(state.num_clusters());
+        for c in 0..state.num_clusters() {
+            messages.insert(c, Msg::words(&[7000 + c as u64]));
+        }
+        let holding = down_cast(&mut net, &state, &messages, &mut frame);
         for (v, held) in holding.iter().enumerate() {
             let c = state.cluster_of[v];
             prop_assert_eq!(
@@ -113,16 +198,18 @@ proptest! {
             );
         }
         // ...then up-cast it back: every center must recover its own token.
-        let holders: HashMap<usize, Msg> = holding
-            .iter()
-            .enumerate()
-            .filter_map(|(v, m)| m.clone().map(|m| (v, m)))
-            .collect();
-        let participating: HashSet<usize> = (0..state.num_clusters()).collect();
-        let at_centers = up_cast(&mut net, &state, &participating, &holders);
+        let mut holders: NodeSlots<Msg> = NodeSlots::new(state.num_nodes());
+        for (v, m) in holding.iter().enumerate() {
+            if let Some(m) = m {
+                holders.insert(v, m.clone());
+            }
+        }
+        let mut participating = NodeSet::new(state.num_clusters());
+        participating.extend(0..state.num_clusters());
+        let at_centers = up_cast(&mut net, &state, &participating, &holders, &mut frame);
         for c in 0..state.num_clusters() {
             prop_assert_eq!(
-                at_centers.get(&c).map(|m| m.word(0)),
+                at_centers.get(c).map(|m| m.word(0)),
                 Some(7000 + c as u64),
                 "cluster {} center got the wrong token back", c
             );

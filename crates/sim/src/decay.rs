@@ -15,14 +15,22 @@
 //! `O(log Δ)` expected energy for receivers with a sending neighbour);
 //! receivers with no sending neighbour listen through all
 //! `O(log Δ · log f⁻¹)` slots.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The call operates on a reusable [`RoundFrame`]: senders and receivers go
+//! in, deliveries come out in `frame.delivered()`, and a [`DecayScratch`]
+//! carries the per-slot buffers so that repeated calls (the normal case —
+//! every higher-level protocol is a long sequence of Local-Broadcasts)
+//! allocate nothing. Senders draw their decay slots in ascending node order
+//! — the order [`NodeSlots`](crate::frame::NodeSlots) iterates by
+//! construction — so the RNG stream maps to devices deterministically
+//! without any per-call sort.
 
 use radio_graph::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::model::{Action, Feedback, Payload};
+use crate::frame::{RoundFrame, SlotFrame};
+use crate::model::{Feedback, Payload};
 use crate::network::RadioNetwork;
 
 /// Parameters of one Local-Broadcast execution.
@@ -70,13 +78,23 @@ impl DecayParams {
     }
 }
 
-/// Result of one Local-Broadcast execution on the physical simulator.
+/// Reusable per-slot buffers for [`decay_local_broadcast`]: the columnar
+/// [`SlotFrame`] handed to the channel each slot, plus the senders' slot
+/// choices for the current iteration (parallel to ascending sender order).
 #[derive(Clone, Debug)]
-pub struct DecayOutcome<M> {
-    /// For each receiver that heard a message, the message it heard first.
-    pub received: HashMap<NodeId, M>,
-    /// Number of channel slots the call occupied.
-    pub slots_used: u64,
+pub struct DecayScratch<M> {
+    slot: SlotFrame<M>,
+    choices: Vec<usize>,
+}
+
+impl<M> DecayScratch<M> {
+    /// Scratch buffers for a network of `n` devices.
+    pub fn new(n: usize) -> Self {
+        DecayScratch {
+            slot: SlotFrame::new(n),
+            choices: Vec::new(),
+        }
+    }
 }
 
 /// Samples the decay slot: `P(X = t) = 2^{−t}` for `t < L`, with the
@@ -94,63 +112,91 @@ pub fn sample_decay_slot<R: Rng + ?Sized>(levels: usize, rng: &mut R) -> usize {
 
 /// Executes one Local-Broadcast on the physical radio network.
 ///
-/// `senders` maps each sender to its message; `receivers` is the receiver
-/// set. The two sets should be disjoint (senders found in `receivers` are
-/// ignored as receivers). Devices outside both sets idle and spend no
-/// energy.
+/// `frame.senders()` maps each sender to its message; `frame.receivers()`
+/// is the receiver set. The two sets should be disjoint (senders found in
+/// the receiver set are ignored as receivers). Devices outside both sets
+/// idle and spend no energy. Deliveries are written into
+/// `frame.delivered()` (cleared on entry, first message heard wins);
+/// returns the number of channel slots the call occupied.
 pub fn decay_local_broadcast<M: Payload, R: Rng + ?Sized>(
     net: &mut RadioNetwork<M>,
-    senders: &HashMap<NodeId, M>,
-    receivers: &HashSet<NodeId>,
+    frame: &mut RoundFrame<M>,
+    scratch: &mut DecayScratch<M>,
     params: DecayParams,
     rng: &mut R,
-) -> DecayOutcome<M> {
+) -> u64 {
+    assert_eq!(
+        frame.num_nodes(),
+        net.num_nodes(),
+        "frame universe mismatch"
+    );
     let levels = params.slots_per_iteration();
     let iterations = params.iterations();
-    let mut received: HashMap<NodeId, M> = HashMap::new();
+    frame.clear_delivered();
+    let (senders, receivers, delivered) = frame.parts_mut();
     let mut slots_used = 0u64;
-
-    // Senders draw their slots in node order so the RNG stream maps to
-    // devices deterministically (HashMap iteration order is randomized per
-    // process, which would otherwise make seeded runs diverge).
-    let mut sender_ids: Vec<NodeId> = senders.keys().copied().collect();
-    sender_ids.sort_unstable();
 
     for _ in 0..iterations {
         // Each sender independently picks its transmission slot for this
-        // iteration.
-        let choices: HashMap<NodeId, usize> = sender_ids
-            .iter()
-            .map(|&u| (u, sample_decay_slot(levels, rng)))
-            .collect();
+        // iteration, in ascending node order (deterministic by
+        // construction, no sort needed).
+        scratch.choices.clear();
+        scratch.choices.extend(
+            senders
+                .keys()
+                .iter()
+                .map(|_| sample_decay_slot(levels, rng)),
+        );
         for slot in 1..=levels {
-            let mut actions: HashMap<NodeId, Action<M>> = HashMap::new();
-            for (&u, &t) in &choices {
-                if t == slot {
-                    actions.insert(u, Action::Transmit(senders[&u].clone()));
+            scratch.slot.clear();
+            for (i, (u, m)) in senders.iter().enumerate() {
+                if scratch.choices[i] == slot {
+                    scratch.slot.transmit.insert(u, m.clone());
                 }
             }
-            for &v in receivers {
+            for v in receivers.iter() {
                 // A receiver that has already heard something sleeps for the
                 // rest of the call (Lemma 2.4's expected-energy saving).
-                if !received.contains_key(&v) && !senders.contains_key(&v) {
-                    actions.insert(v, Action::Listen);
+                if !delivered.contains(v) && !senders.contains(v) {
+                    scratch.slot.listen.insert(v);
                 }
             }
-            let feedback = net.step(&actions);
+            net.step_frame(&mut scratch.slot);
             slots_used += 1;
-            for (v, fb) in feedback {
+            for (v, fb) in scratch.slot.feedback.iter() {
                 if let Feedback::Received(m) = fb {
-                    received.entry(v).or_insert(m);
+                    delivered.insert_if_absent(v, m.clone());
                 }
             }
         }
     }
 
-    DecayOutcome {
-        received,
-        slots_used,
+    slots_used
+}
+
+/// Convenience for tests and one-off calls: runs [`decay_local_broadcast`]
+/// with freshly allocated frame and scratch, returning the delivery arena
+/// and the slots used. Hot paths should hold their own frame/scratch and
+/// call [`decay_local_broadcast`] directly.
+pub fn decay_local_broadcast_once<M: Payload, R: Rng + ?Sized>(
+    net: &mut RadioNetwork<M>,
+    senders: &[(NodeId, M)],
+    receivers: &[NodeId],
+    params: DecayParams,
+    rng: &mut R,
+) -> (crate::frame::NodeSlots<M>, u64) {
+    let mut frame = RoundFrame::new(net.num_nodes());
+    let mut scratch = DecayScratch::new(net.num_nodes());
+    for (v, m) in senders {
+        frame.add_sender(*v, m.clone());
     }
+    for &v in receivers {
+        frame.add_receiver(v);
+    }
+    let slots = decay_local_broadcast(net, &mut frame, &mut scratch, params, rng);
+    let mut out = crate::frame::NodeSlots::new(net.num_nodes());
+    frame.swap_delivered(&mut out);
+    (out, slots)
 }
 
 #[cfg(test)]
@@ -188,10 +234,8 @@ mod tests {
         let mut r = rng(2);
         let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
         let params = DecayParams::for_network(2, 1);
-        let senders: HashMap<_, _> = [(0usize, 99u64)].into_iter().collect();
-        let receivers: HashSet<_> = [1usize].into_iter().collect();
-        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-        assert_eq!(out.received.get(&1), Some(&99));
+        let (out, _) = decay_local_broadcast_once(&mut net, &[(0, 99u64)], &[1], params, &mut r);
+        assert_eq!(out.get(1), Some(&99));
     }
 
     #[test]
@@ -205,11 +249,9 @@ mod tests {
             max_degree: 2,
             failure_prob: 1e-6,
         };
-        let senders: HashMap<_, _> = [(0usize, 7u64)].into_iter().collect();
-        let receivers: HashSet<_> = [1usize, 3usize].into_iter().collect();
-        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-        assert_eq!(out.received.get(&1), Some(&7));
-        assert_eq!(out.received.get(&3), None);
+        let (out, _) = decay_local_broadcast_once(&mut net, &[(0, 7u64)], &[1, 3], params, &mut r);
+        assert_eq!(out.get(1), Some(&7));
+        assert_eq!(out.get(3), None);
         assert_eq!(net.energy(3), params.total_slots() as u64);
         // The successful receiver stops early: strictly less energy than the
         // hopeless one (with overwhelming probability for these many slots).
@@ -223,18 +265,24 @@ mod tests {
     #[test]
     fn many_senders_still_deliver_to_hub_whp() {
         // Star: all leaves send, the hub must hear at least one despite
-        // collisions. Repeat over several seeds.
+        // collisions. Repeat over several seeds, reusing one frame and one
+        // scratch across all runs (the reuse discipline hot paths follow).
         let n = 65;
         let g = generators::star(n);
         let params = DecayParams::for_network(n, n - 1);
+        let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
         let mut failures = 0;
         for seed in 0..20 {
             let mut r = rng(100 + seed);
             let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
-            let senders: HashMap<_, _> = (1..n).map(|v| (v, v as u64)).collect();
-            let receivers: HashSet<_> = [0usize].into_iter().collect();
-            let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-            if !out.received.contains_key(&0) {
+            frame.clear();
+            for v in 1..n {
+                frame.add_sender(v, v as u64);
+            }
+            frame.add_receiver(0);
+            decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r);
+            if !frame.delivered().contains(0) {
                 failures += 1;
             }
         }
@@ -250,10 +298,8 @@ mod tests {
             max_degree: 4,
             failure_prob: 1e-4,
         };
-        let senders: HashMap<_, _> = [(0usize, 1u64)].into_iter().collect();
-        let receivers: HashSet<_> = [1usize].into_iter().collect();
-        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-        assert_eq!(out.slots_used, params.total_slots() as u64);
+        let (_, slots) = decay_local_broadcast_once(&mut net, &[(0, 1u64)], &[1], params, &mut r);
+        assert_eq!(slots, params.total_slots() as u64);
         assert_eq!(net.slots(), params.total_slots() as u64);
     }
 
@@ -278,9 +324,28 @@ mod tests {
         let mut r = rng(6);
         let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
         let params = DecayParams::for_network(4, 1);
-        let senders: HashMap<_, _> = [(0usize, 5u64)].into_iter().collect();
-        let receivers: HashSet<_> = [3usize].into_iter().collect();
-        let out = decay_local_broadcast(&mut net, &senders, &receivers, params, &mut r);
-        assert!(out.received.is_empty());
+        let (out, _) = decay_local_broadcast_once(&mut net, &[(0, 5u64)], &[3], params, &mut r);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reused_frame_does_not_leak_previous_deliveries() {
+        // Call once with a delivering sender, then reuse the same frame for
+        // a hopeless receiver: the old delivery must not survive.
+        let g = generators::path(4);
+        let mut r = rng(7);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let params = DecayParams::for_network(4, 2);
+        let mut frame: RoundFrame<u64> = RoundFrame::new(4);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(4);
+        frame.add_sender(0, 9);
+        frame.add_receiver(1);
+        decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r);
+        assert_eq!(frame.delivered().get(1), Some(&9));
+        frame.clear();
+        frame.add_sender(0, 9);
+        frame.add_receiver(3);
+        decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r);
+        assert!(frame.delivered().is_empty());
     }
 }

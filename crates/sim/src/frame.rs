@@ -1,0 +1,449 @@
+//! Dense, reusable round-frame data structures.
+//!
+//! Every protocol in this repository is a sequence of rounds in which a
+//! *sparse subset* of a *fixed universe* of nodes acts. Representing those
+//! subsets as `HashMap`/`HashSet` (as the seed did) costs an allocation and
+//! a hash per participant per round, and — because hash iteration order is
+//! randomized per process — forces every consumer that draws from a seeded
+//! RNG to sort the keys first to stay deterministic.
+//!
+//! The types here make determinism a *structural* property instead:
+//!
+//! * [`NodeSet`] — a dense bitset over `0..n` whose iterator is ascending
+//!   by construction. No sort is ever needed.
+//! * [`NodeSlots<T>`] — a slot-indexed arena `node → T` backed by a
+//!   `Vec<Option<T>>` plus a [`NodeSet`] occupancy index, so membership is
+//!   one bit-test and iteration is ascending.
+//! * [`RoundFrame<M>`] — one Local-Broadcast-shaped round: senders (with
+//!   their messages), receivers, and the delivered output, all reusable
+//!   across calls via [`RoundFrame::clear`] (clearing touches only the
+//!   previously occupied entries, so a sparse round on a large universe
+//!   stays cheap).
+//! * [`SlotFrame<M>`] — one physical channel slot: transmitters, listeners,
+//!   and per-listener feedback, used by the columnar
+//!   [`RadioNetwork::step_frame`](crate::network::RadioNetwork::step_frame).
+
+use crate::model::Feedback;
+
+/// A dense set of node identifiers over a fixed universe `0..n`.
+///
+/// Insert, remove and membership are `O(1)`; iteration is ascending by
+/// construction and `O(n/64 + |set|)`. Occupied words are not tracked:
+/// `clear` zeroes all `n/64` words, a single `memset` that in practice
+/// beats per-word bookkeeping at the universe sizes the simulator handles
+/// (unlike [`NodeSlots::clear`], which is `O(|occupied|)`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+            len: 0,
+        }
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every member. `O(n/64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(
+            v < self.universe,
+            "node {v} outside universe {}",
+            self.universe
+        );
+        let (w, b) = (v / 64, 1u64 << (v % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        if v >= self.universe {
+            return false;
+        }
+        let (w, b) = (v / 64, 1u64 << (v % 64));
+        let present = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Membership test. `O(1)`; out-of-universe ids are never members.
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.universe && self.words[v / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> NodeSetIter<'_> {
+        NodeSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Inserts every id produced by `iter`.
+    pub fn extend(&mut self, iter: impl IntoIterator<Item = usize>) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = usize;
+    type IntoIter = NodeSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over a [`NodeSet`].
+pub struct NodeSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+/// A slot-indexed arena mapping node ids to values, with a [`NodeSet`]
+/// occupancy index.
+///
+/// This is the dense replacement for `HashMap<usize, T>` in per-round
+/// message plumbing: `O(1)` unhashed insert/lookup, ascending iteration by
+/// construction, and `clear` touches only the occupied slots (so reuse
+/// across sparse rounds is cheap even over a large universe).
+#[derive(Clone, Debug)]
+pub struct NodeSlots<T> {
+    slots: Vec<Option<T>>,
+    occupied: NodeSet,
+}
+
+impl<T> NodeSlots<T> {
+    /// An empty arena over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSlots {
+            slots: (0..n).map(|_| None).collect(),
+            occupied: NodeSet::new(n),
+        }
+    }
+
+    /// Size of the universe.
+    pub fn universe(&self) -> usize {
+        self.occupied.universe()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// `true` if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied.is_empty()
+    }
+
+    /// Removes every entry, touching only the occupied slots.
+    pub fn clear(&mut self) {
+        // Drop values via the occupancy index rather than scanning all n
+        // slots: sparse rounds over big universes stay O(|occupied|).
+        let slots = &mut self.slots;
+        for v in self.occupied.iter() {
+            slots[v] = None;
+        }
+        self.occupied.clear();
+    }
+
+    /// Inserts `value` at node `v`, replacing any previous value.
+    pub fn insert(&mut self, v: usize, value: T) {
+        self.slots[v] = Some(value);
+        self.occupied.insert(v);
+    }
+
+    /// Inserts only if `v` is unoccupied (first-write-wins semantics, the
+    /// shape every delivery loop in this repository wants).
+    pub fn insert_if_absent(&mut self, v: usize, value: T) {
+        if !self.occupied.contains(v) {
+            self.insert(v, value);
+        }
+    }
+
+    /// The value at node `v`, if any.
+    pub fn get(&self, v: usize) -> Option<&T> {
+        self.slots.get(v).and_then(|s| s.as_ref())
+    }
+
+    /// Membership test: `O(1)` against the occupancy bitset.
+    pub fn contains(&self, v: usize) -> bool {
+        self.occupied.contains(v)
+    }
+
+    /// The occupancy index (e.g. to iterate keys only).
+    pub fn keys(&self) -> &NodeSet {
+        &self.occupied
+    }
+
+    /// Iterates `(node, &value)` in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        self.occupied
+            .iter()
+            .map(|v| (v, self.slots[v].as_ref().expect("occupied slot")))
+    }
+}
+
+/// One Local-Broadcast-shaped round over a fixed universe of nodes:
+/// senders (each with a message), receivers, and the delivered output.
+///
+/// The frame is the unit of reuse: allocate it once per network (e.g. via
+/// `LbNetwork::new_frame` in `radio-protocols`), then `clear`/fill/call for
+/// every round. Backends write deliveries through [`RoundFrame::parts_mut`],
+/// which splits the frame into disjoint input/output borrows.
+#[derive(Clone, Debug)]
+pub struct RoundFrame<M> {
+    senders: NodeSlots<M>,
+    receivers: NodeSet,
+    delivered: NodeSlots<M>,
+}
+
+impl<M> RoundFrame<M> {
+    /// An empty frame over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        RoundFrame {
+            senders: NodeSlots::new(n),
+            receivers: NodeSet::new(n),
+            delivered: NodeSlots::new(n),
+        }
+    }
+
+    /// Size of the node universe this frame ranges over.
+    pub fn num_nodes(&self) -> usize {
+        self.receivers.universe()
+    }
+
+    /// Clears senders, receivers and deliveries for reuse.
+    pub fn clear(&mut self) {
+        self.senders.clear();
+        self.receivers.clear();
+        self.delivered.clear();
+    }
+
+    /// Registers `v` as a sender holding `m`.
+    pub fn add_sender(&mut self, v: usize, m: M) {
+        self.senders.insert(v, m);
+    }
+
+    /// Registers `v` as a receiver.
+    pub fn add_receiver(&mut self, v: usize) {
+        self.receivers.insert(v);
+    }
+
+    /// The sender arena.
+    pub fn senders(&self) -> &NodeSlots<M> {
+        &self.senders
+    }
+
+    /// The receiver set.
+    pub fn receivers(&self) -> &NodeSet {
+        &self.receivers
+    }
+
+    /// The messages delivered by the last call executed on this frame.
+    pub fn delivered(&self) -> &NodeSlots<M> {
+        &self.delivered
+    }
+
+    /// Splits the frame into `(senders, receivers, delivered)` with the
+    /// output mutably borrowed — the shape every backend needs to read the
+    /// inputs while recording deliveries.
+    pub fn parts_mut(&mut self) -> (&NodeSlots<M>, &NodeSet, &mut NodeSlots<M>) {
+        (&self.senders, &self.receivers, &mut self.delivered)
+    }
+
+    /// Clears only the delivery output (backends call this on entry so a
+    /// reused frame never leaks the previous round's deliveries).
+    pub fn clear_delivered(&mut self) {
+        self.delivered.clear();
+    }
+
+    /// Swaps the delivery arena with `other` (same universe required), e.g.
+    /// to hold on to one round's output while the frame is reused for the
+    /// next round without cloning messages.
+    pub fn swap_delivered(&mut self, other: &mut NodeSlots<M>) {
+        assert_eq!(other.universe(), self.delivered.universe());
+        std::mem::swap(&mut self.delivered, other);
+    }
+
+    /// Replaces the delivery arena wholesale (same universe required).
+    pub fn replace_delivered(&mut self, delivered: NodeSlots<M>) {
+        assert_eq!(delivered.universe(), self.receivers.universe());
+        self.delivered = delivered;
+    }
+}
+
+/// One physical channel slot in columnar form: who transmits (with the
+/// payload), who listens, and — after
+/// [`RadioNetwork::step_frame`](crate::network::RadioNetwork::step_frame) —
+/// what each listener heard.
+#[derive(Clone, Debug)]
+pub struct SlotFrame<M> {
+    /// Transmitters and their payloads.
+    pub transmit: NodeSlots<M>,
+    /// Listeners.
+    pub listen: NodeSet,
+    /// Per-listener feedback (filled by the network).
+    pub feedback: NodeSlots<Feedback<M>>,
+}
+
+impl<M> SlotFrame<M> {
+    /// An empty slot frame over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        SlotFrame {
+            transmit: NodeSlots::new(n),
+            listen: NodeSet::new(n),
+            feedback: NodeSlots::new(n),
+        }
+    }
+
+    /// Clears transmitters, listeners and feedback for the next slot.
+    pub fn clear(&mut self) {
+        self.transmit.clear();
+        self.listen.clear();
+        self.feedback.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_set_insert_remove_contains() {
+        let mut s = NodeSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.insert(64));
+        assert!(!s.insert(64), "double insert reports not-fresh");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(130));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn node_set_iterates_ascending_by_construction() {
+        let mut s = NodeSet::new(200);
+        for v in [199, 0, 63, 64, 65, 127, 128, 3] {
+            s.insert(v);
+        }
+        let order: Vec<usize> = s.iter().collect();
+        assert_eq!(order, vec![0, 3, 63, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn node_set_clear_resets() {
+        let mut s = NodeSet::new(70);
+        s.extend([1, 2, 69]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_set_rejects_out_of_universe_insert() {
+        NodeSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn node_slots_round_trip_and_first_write_wins() {
+        let mut m: NodeSlots<u64> = NodeSlots::new(100);
+        m.insert(7, 70);
+        m.insert(3, 30);
+        m.insert_if_absent(7, 71);
+        assert_eq!(m.get(7), Some(&70), "first write wins");
+        m.insert(7, 72);
+        assert_eq!(m.get(7), Some(&72), "plain insert overwrites");
+        assert_eq!(m.len(), 2);
+        let pairs: Vec<(usize, u64)> = m.iter().map(|(v, &x)| (v, x)).collect();
+        assert_eq!(pairs, vec![(3, 30), (7, 72)]);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(7), None);
+    }
+
+    #[test]
+    fn round_frame_fill_clear_reuse() {
+        let mut f: RoundFrame<u64> = RoundFrame::new(10);
+        f.add_sender(2, 22);
+        f.add_receiver(5);
+        let (s, r, d) = f.parts_mut();
+        assert_eq!(s.get(2), Some(&22));
+        assert!(r.contains(5));
+        d.insert(5, 22);
+        assert_eq!(f.delivered().get(5), Some(&22));
+        f.clear();
+        assert!(f.senders().is_empty());
+        assert!(f.receivers().is_empty());
+        assert!(f.delivered().is_empty());
+    }
+
+    #[test]
+    fn round_frame_swap_delivered_moves_without_clone() {
+        let mut f: RoundFrame<u64> = RoundFrame::new(6);
+        f.parts_mut().2.insert(1, 11);
+        let mut held: NodeSlots<u64> = NodeSlots::new(6);
+        f.swap_delivered(&mut held);
+        assert_eq!(held.get(1), Some(&11));
+        assert!(f.delivered().is_empty());
+    }
+}

@@ -24,10 +24,12 @@
 pub mod decay;
 pub mod device;
 pub mod energy;
+pub mod frame;
 pub mod model;
 pub mod network;
 
-pub use decay::{decay_local_broadcast, DecayOutcome, DecayParams};
+pub use decay::{decay_local_broadcast, decay_local_broadcast_once, DecayParams, DecayScratch};
 pub use energy::{EnergyMeter, EnergyReport};
+pub use frame::{NodeSet, NodeSlots, RoundFrame, SlotFrame};
 pub use model::{Action, CollisionDetection, Feedback, Payload};
 pub use network::RadioNetwork;

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use radio_graph::{Graph, NodeId};
 
 use crate::energy::{EnergyMeter, EnergyReport};
+use crate::frame::SlotFrame;
 use crate::model::{Action, CollisionDetection, Feedback, MessageBudget, Payload};
 
 /// A radio network instance: a topology, a collision-detection mode, a
@@ -150,6 +151,63 @@ impl<M: Payload> RadioNetwork<M> {
         feedback
     }
 
+    /// Executes one synchronous slot in columnar form.
+    ///
+    /// The counterpart of [`RadioNetwork::step`] for the dense round-frame
+    /// engine: transmitters and listeners come in as a [`SlotFrame`], and
+    /// per-listener feedback is written back into `frame.feedback` (cleared
+    /// on entry). Nodes in neither set idle and spend no energy. Reception
+    /// is resolved by scanning each listener's CSR neighbourhood against the
+    /// transmit occupancy bitset — no hashing, no allocation.
+    ///
+    /// Semantics (energy charges, collision resolution, budget enforcement)
+    /// are identical to [`RadioNetwork::step`]; a node present in both sets
+    /// acts as a transmitter only, matching `step`'s treatment of a single
+    /// action per node.
+    ///
+    /// Panics if a transmitted payload exceeds the configured bit budget.
+    pub fn step_frame(&mut self, frame: &mut SlotFrame<M>) {
+        let n = self.num_nodes();
+        frame.feedback.clear();
+        for (v, m) in frame.transmit.iter() {
+            assert!(v < n, "device {v} out of range");
+            assert!(
+                self.budget.allows(m.bit_size()),
+                "payload of {} bits exceeds the message budget {:?}",
+                m.bit_size(),
+                self.budget
+            );
+            self.meter.charge_transmit(v);
+        }
+        for v in frame.listen.iter() {
+            assert!(v < n, "device {v} out of range");
+            if frame.transmit.contains(v) {
+                continue; // transmitting wins; already charged above
+            }
+            self.meter.charge_listen(v);
+            let mut heard: Option<&M> = None;
+            let mut count = 0usize;
+            for &u in self.graph.neighbors(v) {
+                if let Some(m) = frame.transmit.get(u) {
+                    count += 1;
+                    heard = Some(m);
+                    if count > 1 {
+                        break;
+                    }
+                }
+            }
+            let fb = match (count, self.cd) {
+                (1, _) => Feedback::Received(heard.expect("one transmitter").clone()),
+                (0, CollisionDetection::None) => Feedback::Nothing,
+                (_, CollisionDetection::None) => Feedback::Nothing,
+                (0, CollisionDetection::Receiver) => Feedback::Silence,
+                (_, CollisionDetection::Receiver) => Feedback::Noise,
+            };
+            frame.feedback.insert(v, fb);
+        }
+        self.meter.tick();
+    }
+
     /// Runs `k` consecutive slots in which nobody does anything (useful to
     /// model agreed-upon idle gaps; costs time but no energy).
     pub fn idle_slots(&mut self, k: u64) {
@@ -276,6 +334,47 @@ mod tests {
             ]));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn step_frame_matches_step_semantics() {
+        // Same scenario through both entry points: identical feedback and
+        // identical energy/time accounting.
+        let g = generators::star(5); // hub 0, leaves 1..4
+        type Scenario = (Vec<(NodeId, u64)>, Vec<NodeId>);
+        let scenarios: Vec<Scenario> = vec![
+            (vec![(1, 11)], vec![0, 2]),         // clean reception at the hub
+            (vec![(1, 11), (2, 22)], vec![0]),   // collision at the hub
+            (vec![], vec![0, 3]),                // silence
+            (vec![(0, 7)], vec![0, 1, 2, 3, 4]), // transmitter also listed as listener
+        ];
+        for cd in [CollisionDetection::None, CollisionDetection::Receiver] {
+            let mut a: RadioNetwork<u64> =
+                RadioNetwork::new(g.clone()).with_collision_detection(cd);
+            let mut b: RadioNetwork<u64> =
+                RadioNetwork::new(g.clone()).with_collision_detection(cd);
+            let mut frame: SlotFrame<u64> = SlotFrame::new(5);
+            for (tx, listen) in &scenarios {
+                let mut acts: HashMap<NodeId, Action<u64>> = HashMap::new();
+                frame.clear();
+                for &(v, m) in tx {
+                    acts.insert(v, Action::Transmit(m));
+                    frame.transmit.insert(v, m);
+                }
+                for &v in listen {
+                    acts.entry(v).or_insert(Action::Listen);
+                    frame.listen.insert(v);
+                }
+                let fb_map = a.step(&acts);
+                b.step_frame(&mut frame);
+                let mut from_map: Vec<(NodeId, Feedback<u64>)> = fb_map.into_iter().collect();
+                from_map.sort_by_key(|&(v, _)| v);
+                let from_frame: Vec<(NodeId, Feedback<u64>)> =
+                    frame.feedback.iter().map(|(v, f)| (v, f.clone())).collect();
+                assert_eq!(from_map, from_frame, "feedback diverged under {cd:?}");
+            }
+            assert_eq!(a.report(), b.report(), "energy accounting diverged");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! cargo run --release --example sensor_field
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,7 +58,7 @@ fn main() {
         // Allow a handful of polling cycles per hop for the decay-style
         // forwarding to resolve contention among same-label sensors.
         let deadline = (16 * depth + 100) * period;
-        let mut devices: HashMap<usize, PollingDevice> = graph
+        let mut devices: BTreeMap<usize, PollingDevice> = graph
             .nodes()
             .map(|v| {
                 let initial = if v == source { Some(1) } else { None };
