@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_bench::rng;
 use radio_graph::generators;
 use radio_protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg, VirtualClusterNet,
+    cluster_distributed, ClusteringConfig, Msg, RadioStack, StackBuilder, VirtualClusterNet,
 };
 
 fn bench_virtual_lb(c: &mut Criterion) {
@@ -20,7 +20,7 @@ fn bench_virtual_lb(c: &mut Criterion) {
             let g = generators::grid(side, side);
             let cfg = ClusteringConfig::new(4);
             let mut r = rng(500 + side as u64);
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let state = cluster_distributed(&mut net, &cfg, &mut r);
             let k = state.num_clusters();
             let mut virt = VirtualClusterNet::new(&mut net, &state);

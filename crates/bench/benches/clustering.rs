@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_bench::rng;
 use radio_graph::generators;
-use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig};
+use radio_protocols::{cluster_distributed, ClusteringConfig, StackBuilder};
 
 fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_clustering");
@@ -19,7 +19,7 @@ fn bench_clustering(c: &mut Criterion) {
                     let cfg = ClusteringConfig::new(inv_beta);
                     let mut r = rng(400 + side as u64 + inv_beta);
                     b.iter(|| {
-                        let mut net = AbstractLbNetwork::new(g.clone());
+                        let mut net = StackBuilder::new(g.clone()).build();
                         cluster_distributed(&mut net, &cfg, &mut r)
                     });
                 },

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
 use energy_bfs::RecursiveBfsConfig;
 use radio_graph::generators;
-use radio_protocols::AbstractLbNetwork;
+use radio_protocols::StackBuilder;
 
 fn config() -> RecursiveBfsConfig {
     RecursiveBfsConfig {
@@ -26,7 +26,7 @@ fn bench_diameter(c: &mut Criterion) {
             |b, &side| {
                 let g = generators::grid(side, side);
                 b.iter(|| {
-                    let mut net = AbstractLbNetwork::new(g.clone());
+                    let mut net = StackBuilder::new(g.clone()).build();
                     two_approx_diameter(&mut net, &config())
                 });
             },
@@ -37,7 +37,7 @@ fn bench_diameter(c: &mut Criterion) {
             |b, &side| {
                 let g = generators::grid(side, side);
                 b.iter(|| {
-                    let mut net = AbstractLbNetwork::new(g.clone());
+                    let mut net = StackBuilder::new(g.clone()).build();
                     three_halves_approx_diameter(&mut net, &config(), 7)
                 });
             },

@@ -7,7 +7,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use radio_bench::rng;
 use radio_graph::generators;
-use radio_sim::{decay_local_broadcast, DecayParams, DecayScratch, RadioNetwork, RoundFrame};
+use radio_sim::{
+    decay_local_broadcast, decay_local_broadcast_cd, CollisionDetection, DecayParams, DecayScratch,
+    RadioNetwork, RoundFrame,
+};
 
 fn bench_decay(c: &mut Criterion) {
     let mut group = c.benchmark_group("decay_local_broadcast");
@@ -33,5 +36,49 @@ fn bench_decay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decay);
+/// CD-aware decay vs plain decay on a sparse instance (one sender on a
+/// path, every other node listening): the CD variant resolves hopeless
+/// receivers after one iteration and retires the sender via the echo slot,
+/// so it simulates far fewer slots — the wall-clock counterpart of the
+/// energy saving recorded by the `path-lbsweep-*` scenarios.
+fn bench_decay_cd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decay_cd");
+    group.sample_size(20);
+    for &n in &[64usize, 256] {
+        let g = generators::path(n);
+        let params = DecayParams::for_network(n, 2);
+        group.bench_with_input(BenchmarkId::new("path_no_cd", n), &n, |b, &n| {
+            let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+            let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
+            let mut r = rng(400 + n as u64);
+            b.iter(|| {
+                let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
+                frame.clear();
+                frame.add_sender(0, 7u64);
+                for v in 1..n {
+                    frame.add_receiver(v);
+                }
+                decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("path_cd", n), &n, |b, &n| {
+            let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+            let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
+            let mut r = rng(400 + n as u64);
+            b.iter(|| {
+                let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone())
+                    .with_collision_detection(CollisionDetection::Receiver);
+                frame.clear();
+                frame.add_sender(0, 7u64);
+                for v in 1..n {
+                    frame.add_receiver(v);
+                }
+                decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decay, bench_decay_cd);
 criterion_main!(benches);

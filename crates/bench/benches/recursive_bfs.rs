@@ -6,7 +6,7 @@ use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy};
 use radio_bench::scaling_config;
 use radio_graph::generators;
-use radio_protocols::AbstractLbNetwork;
+use radio_protocols::StackBuilder;
 
 fn bench_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs_on_path");
@@ -16,7 +16,7 @@ fn bench_bfs(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("recursive_query", n), &n, |b, &n| {
             let g = generators::path(n);
             let config = scaling_config(depth, 600);
-            let mut net = AbstractLbNetwork::new(g);
+            let mut net = StackBuilder::new(g).build();
             let hierarchy = build_hierarchy(&mut net, &config);
             b.iter(|| {
                 recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[])
@@ -26,7 +26,7 @@ fn bench_bfs(c: &mut Criterion) {
             let g = generators::path(n);
             let active = vec![true; n];
             b.iter(|| {
-                let mut net = AbstractLbNetwork::new(g.clone());
+                let mut net = StackBuilder::new(g.clone()).build();
                 trivial_bfs(&mut net, &[0], &active, depth)
             });
         });

@@ -26,7 +26,7 @@ use radio_graph::mpx::{cluster_centralized, MpxParams};
 use radio_graph::{bfs::bfs_distances, generators};
 use radio_protocols::cast::down_cast;
 use radio_protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg, VirtualClusterNet,
+    cluster_distributed, ClusteringConfig, Msg, RadioStack, StackBuilder, VirtualClusterNet,
 };
 use radio_sim::DecayParams;
 use rand::Rng;
@@ -101,9 +101,14 @@ fn scenario_sweeps() {
             r.n.to_string(),
             r.seed.to_string(),
             r.protocol.clone(),
+            r.backend.clone(),
             r.lb_calls.to_string(),
             r.max_lb_energy.to_string(),
             format!("{:.1}", r.mean_lb_energy),
+            r.max_physical_energy
+                .map_or_else(|| "-".into(), |x| x.to_string()),
+            r.physical_slots
+                .map_or_else(|| "-".into(), |x| x.to_string()),
             r.outcome.to_string(),
         ]);
     }
@@ -116,9 +121,12 @@ fn scenario_sweeps() {
                 "n",
                 "seed",
                 "protocol",
+                "backend",
                 "LB calls",
                 "max energy",
                 "mean energy",
+                "max phys energy",
+                "phys slots",
                 "outcome",
             ],
             &rows
@@ -297,7 +305,7 @@ fn e4_distributed_clustering() {
     let mut rows = Vec::new();
     for (name, g) in standard_families(4) {
         let cfg = ClusteringConfig::new(4);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let mut r = rng(40);
         let state = cluster_distributed(&mut net, &cfg, &mut r);
         state.validate().expect("valid clustering");
@@ -339,7 +347,7 @@ fn e5_cluster_simulation_overhead() {
     let mut rows = Vec::new();
     for (name, g) in standard_families(5) {
         let cfg = ClusteringConfig::new(4);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let mut r = rng(50);
         let state = cluster_distributed(&mut net, &cfg, &mut r);
         let n = g.num_nodes();
@@ -411,14 +419,14 @@ fn e6_bfs_energy_scaling() {
         let g = generators::path(n);
 
         // Baseline: everyone listens every round.
-        let mut base_net = AbstractLbNetwork::new(g.clone());
+        let mut base_net = StackBuilder::new(g.clone()).build();
         let active = vec![true; n];
         let _ = trivial_bfs(&mut base_net, &[0], &active, depth);
         let base = EnergySummary::of(&base_net);
 
         // Recursive BFS with β tuned to D (the paper's prescription).
         let config = scaling_config(depth, 6);
-        let mut rec_net = AbstractLbNetwork::new(g.clone());
+        let mut rec_net = StackBuilder::new(g.clone()).build();
         let hierarchy = build_hierarchy(&mut rec_net, &config);
         let setup = EnergySummary::of(&rec_net);
         let outcome =
@@ -485,7 +493,7 @@ fn e7_claims_1_and_2() {
             seed: 7,
             ..Default::default()
         };
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let hierarchy = build_hierarchy(&mut net, &config);
         let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
         rows.push(vec![
@@ -530,7 +538,7 @@ fn e8_estimate_evolution() {
         seed: 8,
         ..Default::default()
     };
-    let mut net = AbstractLbNetwork::new(g.clone());
+    let mut net = StackBuilder::new(g.clone()).build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let traced = hierarchy[0].cluster_of[3 * n / 4];
     let outcome = recursive_bfs_with_hierarchy(
@@ -712,7 +720,7 @@ fn e12_two_approx_diameter() {
     let mut rows = Vec::new();
     for (name, g) in standard_families(12) {
         let diam = exact_diameter(&g).unwrap() as u64;
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let est = two_approx_diameter(&mut net, &config);
         let ok = est.estimate <= diam && 2 * est.estimate >= diam;
         rows.push(vec![
@@ -760,7 +768,7 @@ fn e13_three_halves_diameter() {
     for (name, g) in standard_families(13) {
         let diam = exact_diameter(&g).unwrap();
         let n = g.num_nodes();
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let est = three_halves_approx_diameter(&mut net, &config, 13);
         let ok = satisfies_theorem_5_4_bound(diam, est.estimate as u32);
         rows.push(vec![

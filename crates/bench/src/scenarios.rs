@@ -1,12 +1,19 @@
 //! Batched multi-seed scenario runner.
 //!
 //! A [`Scenario`] is a declarative sweep — a graph family, a list of sizes,
-//! a list of seeds, and a protocol — and the runner executes the full
-//! cartesian product, emitting one [`ScenarioRecord`] of energy/time
-//! metrics per (size, seed) cell. Within one size the graph is built once
-//! and a single [`LbFrame`] is reused across every seed (the frame-engine
-//! reuse discipline), so large-n many-seed sweeps cost one allocation per
-//! size instead of one per Local-Broadcast call.
+//! a list of seeds, a protocol, and a [`StackSpec`] choosing the backend —
+//! and the runner executes the full cartesian product, emitting one
+//! [`ScenarioRecord`] of energy/time metrics per (size, seed) cell. Within
+//! one size the graph is built once and a single [`radio_protocols::LbFrame`] is reused
+//! across every seed (the frame-engine reuse discipline), so large-n
+//! many-seed sweeps cost one allocation per size instead of one per
+//! Local-Broadcast call.
+//!
+//! The stack dimension rides the [`StackBuilder`] API: the same scenario
+//! can run on the paper's abstract accounting backend, on the slot-accurate
+//! physical backend, or on the physical backend with receiver-side
+//! collision detection (where Local-Broadcast switches to the CD-aware
+//! Decay variant) — and the records then carry slot-level energy columns.
 //!
 //! Records serialize to JSON with a stable field order and no wall-clock
 //! fields, so a sweep is byte-for-byte reproducible: same scenarios + same
@@ -15,14 +22,18 @@
 
 use energy_bfs::baseline::trivial_bfs_with_frame;
 use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
+use radio_graph::lower_bound::build_disjointness_graph;
 use radio_graph::{generators, Graph};
-use radio_protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork};
+use radio_protocols::{
+    cluster_distributed, ClusteringConfig, EnergyModel, Msg, RadioStack, Stack, StackBuilder,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Graph family of a scenario. `size` is always the *target node count*;
-/// families that cannot hit it exactly (grids, trees) build the largest
-/// instance not exceeding it and report the realized `n` in the record.
+/// families that cannot hit it exactly (grids, trees, disjointness
+/// instances) build the largest instance not exceeding it and report the
+/// realized `n` in the record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Family {
     /// Path graph `P_n`.
@@ -42,6 +53,21 @@ pub enum Family {
     /// Lollipop: a clique of `⌊size/4⌋` vertices dragging a path — the
     /// classic hard case for sweep-style protocols.
     Lollipop,
+    /// The complete graph `K_n` — one half of the Theorem 5.1 hard pair.
+    Complete,
+    /// `K_n − e` (the edge between vertices 1 and 2 removed) — the other
+    /// half of the Theorem 5.1 pair; distinguishing it from `K_n` is what
+    /// costs Ω(n) energy.
+    CompleteMinusEdge,
+    /// A Theorem 5.2 set-disjointness instance: the largest universe
+    /// `k = 2^ℓ` with `k + 2ℓ + 2 ≤ size`, with `A` the lower half of the
+    /// universe and `B` either the upper half (`intersecting: false`,
+    /// diameter 2) or also the lower half (`intersecting: true`,
+    /// diameter 3) — the reduction's 2-vs-3 diameter gap.
+    Disjointness {
+        /// Whether the two encoded sets intersect.
+        intersecting: bool,
+    },
 }
 
 impl Family {
@@ -54,6 +80,15 @@ impl Family {
             Family::Tree { arity } => format!("tree{arity}"),
             Family::Star => "star".into(),
             Family::Lollipop => "lollipop".into(),
+            Family::Complete => "kn".into(),
+            Family::CompleteMinusEdge => "kn_minus_e".into(),
+            Family::Disjointness { intersecting } => {
+                if *intersecting {
+                    "disj_overlap".into()
+                } else {
+                    "disj_disjoint".into()
+                }
+            }
         }
     }
 
@@ -83,6 +118,23 @@ impl Family {
                 let clique = (size / 4).max(3).min(size);
                 generators::lollipop(clique, size - clique)
             }
+            Family::Complete => generators::complete(size.max(3)),
+            Family::CompleteMinusEdge => generators::complete_minus_edge(size.max(3), 1, 2),
+            Family::Disjointness { intersecting } => {
+                // Largest universe k = 2^ℓ with k + 2ℓ + 2 ≤ size (ℓ ≥ 2).
+                let mut ell = 2u32;
+                while (1usize << (ell + 1)) + 2 * (ell as usize + 1) + 2 <= size {
+                    ell += 1;
+                }
+                let k = 1u64 << ell;
+                let set_a: Vec<u64> = (0..k / 2).collect();
+                let set_b: Vec<u64> = if *intersecting {
+                    (0..k / 2).collect()
+                } else {
+                    (k / 2..k).collect()
+                };
+                build_disjointness_graph(&set_a, &set_b, ell).graph
+            }
         }
     }
 }
@@ -98,6 +150,41 @@ fn tree_nodes(k: usize, levels: usize) -> usize {
     total
 }
 
+/// Which [`RadioStack`] backend a scenario runs on — the stack dimension of
+/// the sweep grid, mapped 1:1 onto [`StackBuilder`] calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackSpec {
+    /// The paper's LB-unit accounting backend.
+    Abstract,
+    /// The slot-accurate Decay-expanding backend; with `cd` the stack runs
+    /// the CD-aware Decay variant and records fewer slots on sparse
+    /// neighbourhoods.
+    Physical {
+        /// Enable receiver-side collision detection.
+        cd: bool,
+    },
+}
+
+impl StackSpec {
+    /// Builds the stack for one seeded run. The record's backend label is
+    /// read back from the built stack's `Capabilities::label`, so the JSON
+    /// column can never drift from what the stack actually is.
+    pub fn build(&self, graph: Graph, seed: u64) -> Stack {
+        let builder = StackBuilder::new(graph).with_seed(seed);
+        match self {
+            StackSpec::Abstract => builder.build(),
+            StackSpec::Physical { cd } => {
+                let builder = builder.physical(EnergyModel::Uniform);
+                if *cd {
+                    builder.with_cd().build()
+                } else {
+                    builder.build()
+                }
+            }
+        }
+    }
+}
+
 /// Protocol executed on each (size, seed) cell.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Protocol {
@@ -111,6 +198,15 @@ pub enum Protocol {
         /// The integral `1/β` of the MPX growth.
         inv_beta: u64,
     },
+    /// A bare Local-Broadcast stress loop: in round `r`, node `r mod n`
+    /// sends and everyone else listens. Most receivers are outside the
+    /// sender's neighbourhood, which is exactly the sparse-neighbourhood
+    /// regime where the CD-aware Decay variant terminates early — run it
+    /// under `physical` and `physical_cd` to measure the saving.
+    LbSweep {
+        /// Number of Local-Broadcast rounds.
+        rounds: u64,
+    },
 }
 
 impl Protocol {
@@ -120,11 +216,13 @@ impl Protocol {
             Protocol::TrivialBfs => "trivial_bfs".into(),
             Protocol::RecursiveBfs => "recursive_bfs".into(),
             Protocol::Clustering { inv_beta } => format!("clustering_b{inv_beta}"),
+            Protocol::LbSweep { rounds } => format!("lb_sweep_{rounds}"),
         }
     }
 }
 
-/// One declarative sweep: `family × sizes × seeds`, one protocol.
+/// One declarative sweep: `family × sizes × seeds`, one protocol, one
+/// backend.
 #[derive(Clone, Debug)]
 pub struct Scenario {
     /// Name of the sweep (appears in every record).
@@ -137,6 +235,8 @@ pub struct Scenario {
     pub seeds: Vec<u64>,
     /// Protocol to execute.
     pub protocol: Protocol,
+    /// Backend the protocol runs on.
+    pub stack: StackSpec,
 }
 
 /// Deterministic per-run metrics of one (size, seed) cell.
@@ -152,14 +252,21 @@ pub struct ScenarioRecord {
     pub seed: u64,
     /// Protocol label.
     pub protocol: String,
+    /// Backend label (`abstract`, `physical`, `physical_cd`).
+    pub backend: String,
     /// Local-Broadcast calls (time in LB units).
     pub lb_calls: u64,
     /// Maximum per-node LB participations (the paper's energy measure).
     pub max_lb_energy: u64,
     /// Mean per-node LB participations.
     pub mean_lb_energy: f64,
-    /// Protocol-specific output size: vertices labelled (BFS) or clusters
-    /// formed (clustering); a cheap cross-seed sanity signal.
+    /// Maximum per-node physical energy (slots), physical backends only.
+    pub max_physical_energy: Option<u64>,
+    /// Elapsed physical slots, physical backends only.
+    pub physical_slots: Option<u64>,
+    /// Protocol-specific output size: vertices labelled (BFS), clusters
+    /// formed (clustering), or deliveries (LB sweep); a cheap cross-seed
+    /// sanity signal.
     pub outcome: u64,
 }
 
@@ -173,7 +280,7 @@ pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioRecord> {
         // One frame per size, shared by every seeded run below.
         let mut frame = radio_protocols::LbFrame::new(n);
         for &seed in &scenario.seeds {
-            let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+            let mut net = scenario.stack.build(g.clone(), seed);
             let outcome = match &scenario.protocol {
                 Protocol::TrivialBfs => {
                     let active = vec![true; n];
@@ -201,17 +308,36 @@ pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioRecord> {
                     let state = cluster_distributed(&mut net, &cfg, &mut rng);
                     state.num_clusters() as u64
                 }
+                Protocol::LbSweep { rounds } => {
+                    let mut delivered = 0u64;
+                    for r in 0..*rounds {
+                        frame.clear();
+                        let src = (r as usize) % n;
+                        frame.add_sender(src, Msg::words(&[r]));
+                        for v in 0..n {
+                            if v != src {
+                                frame.add_receiver(v);
+                            }
+                        }
+                        net.local_broadcast(&mut frame);
+                        delivered += frame.delivered().len() as u64;
+                    }
+                    delivered
+                }
             };
-            let total: u64 = (0..n).map(|v| net.lb_energy(v)).sum();
+            let view = net.energy_view();
             records.push(ScenarioRecord {
                 scenario: scenario.name.clone(),
                 family: scenario.family.label(),
                 n,
                 seed,
                 protocol: scenario.protocol.label(),
-                lb_calls: net.lb_time(),
-                max_lb_energy: net.max_lb_energy(),
-                mean_lb_energy: total as f64 / n as f64,
+                backend: net.capabilities().label(),
+                lb_calls: view.lb_time(),
+                max_lb_energy: view.max_lb_energy(),
+                mean_lb_energy: view.mean_lb_energy(),
+                max_physical_energy: view.max_physical_energy(),
+                physical_slots: view.physical_slots(),
                 outcome,
             });
         }
@@ -240,18 +366,20 @@ fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
     }
 }
 
-/// The default sweep wired into `experiments -- scenarios`: grid, tree,
-/// clustering and contention workloads at sizes the E1–E14 experiment
-/// binary does not otherwise touch, six seeds each.
+/// The default sweep wired into `experiments -- scenarios`: the PR-2 era
+/// grid/tree/cluster/contention workloads, the Theorem 5.1/5.2 hardness
+/// families, a physical-backend sweep, and the CD-vs-No-CD Local-Broadcast
+/// comparison, six seeds each.
 pub fn default_scenarios() -> Vec<Scenario> {
     let seeds: Vec<u64> = (0..6).collect();
-    vec![
+    let mut out = vec![
         Scenario {
             name: "grid32-trivial".into(),
             family: Family::Grid,
             sizes: vec![1024],
             seeds: seeds.clone(),
             protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
         },
         Scenario {
             name: "tree3-trivial".into(),
@@ -259,6 +387,7 @@ pub fn default_scenarios() -> Vec<Scenario> {
             sizes: vec![1093],
             seeds: seeds.clone(),
             protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
         },
         Scenario {
             name: "path512-recursive".into(),
@@ -266,6 +395,7 @@ pub fn default_scenarios() -> Vec<Scenario> {
             sizes: vec![512],
             seeds: seeds.clone(),
             protocol: Protocol::RecursiveBfs,
+            stack: StackSpec::Abstract,
         },
         Scenario {
             name: "grid32-clustering".into(),
@@ -273,15 +403,77 @@ pub fn default_scenarios() -> Vec<Scenario> {
             sizes: vec![1024],
             seeds: seeds.clone(),
             protocol: Protocol::Clustering { inv_beta: 4 },
+            stack: StackSpec::Abstract,
         },
         Scenario {
             name: "lollipop-trivial".into(),
             family: Family::Lollipop,
             sizes: vec![2048],
-            seeds,
+            seeds: seeds.clone(),
             protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
         },
-    ]
+        // Hardness families (Theorems 5.1 and 5.2): the K_n / K_n − e pair
+        // under maximum contention, and both disjointness diameters.
+        Scenario {
+            name: "kn-trivial".into(),
+            family: Family::Complete,
+            sizes: vec![192],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        },
+        Scenario {
+            name: "kn-minus-e-trivial".into(),
+            family: Family::CompleteMinusEdge,
+            sizes: vec![192],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        },
+        Scenario {
+            name: "disjointness-disjoint".into(),
+            family: Family::Disjointness {
+                intersecting: false,
+            },
+            sizes: vec![300],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        },
+        Scenario {
+            name: "disjointness-overlap".into(),
+            family: Family::Disjointness { intersecting: true },
+            sizes: vec![300],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        },
+        // The physical backend as a scenario dimension: the same trivial
+        // BFS, now paying real Decay slots.
+        Scenario {
+            name: "grid16-trivial-physical".into(),
+            family: Family::Grid,
+            sizes: vec![256],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Physical { cd: false },
+        },
+    ];
+    // The CD comparison family: identical sweeps on the physical backend
+    // with and without receiver-side collision detection; diff the
+    // max_physical_energy / physical_slots columns.
+    for cd in [false, true] {
+        out.push(Scenario {
+            name: format!("path-lbsweep-{}", if cd { "cd" } else { "nocd" }),
+            family: Family::Path,
+            sizes: vec![256],
+            seeds: seeds.clone(),
+            protocol: Protocol::LbSweep { rounds: 16 },
+            stack: StackSpec::Physical { cd },
+        });
+    }
+    out
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -301,24 +493,33 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
 /// Serializes records as a stable, pretty-printed JSON array: fixed field
-/// order, floats at three decimals, no wall-clock fields — byte-identical
-/// across repeated runs of the same sweep.
+/// order, floats at three decimals, `null` for absent physical counters, no
+/// wall-clock fields — byte-identical across repeated runs of the same
+/// sweep.
 pub fn records_to_json(records: &[ScenarioRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
-             \"protocol\":\"{}\",\"lb_calls\":{},\"max_lb_energy\":{},\
-             \"mean_lb_energy\":{:.3},\"outcome\":{}}}{}\n",
+             \"protocol\":\"{}\",\"backend\":\"{}\",\"lb_calls\":{},\"max_lb_energy\":{},\
+             \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
+             \"outcome\":{}}}{}\n",
             json_escape(&r.scenario),
             json_escape(&r.family),
             r.n,
             r.seed,
             json_escape(&r.protocol),
+            json_escape(&r.backend),
             r.lb_calls,
             r.max_lb_energy,
             r.mean_lb_energy,
+            json_opt(r.max_physical_energy),
+            json_opt(r.physical_slots),
             r.outcome,
             if i + 1 < records.len() { "," } else { "" },
         ));
@@ -339,6 +540,7 @@ mod tests {
                 sizes: vec![64],
                 seeds: (0..6).collect(),
                 protocol: Protocol::TrivialBfs,
+                stack: StackSpec::Abstract,
             },
             Scenario {
                 name: "tree-small".into(),
@@ -346,6 +548,7 @@ mod tests {
                 sizes: vec![40],
                 seeds: (0..6).collect(),
                 protocol: Protocol::Clustering { inv_beta: 3 },
+                stack: StackSpec::Abstract,
             },
         ]
     }
@@ -367,13 +570,17 @@ mod tests {
             n: 4,
             seed: 0,
             protocol: "trivial_bfs".into(),
+            backend: "abstract".into(),
             lb_calls: 1,
             max_lb_energy: 1,
             mean_lb_energy: 1.0,
+            max_physical_energy: None,
+            physical_slots: None,
             outcome: 4,
         }];
         let json = records_to_json(&records);
         assert!(json.contains("grid-\\\"big\\\"\\\\"), "escaped: {json}");
+        assert!(json.contains("\"max_physical_energy\":null"));
     }
 
     #[test]
@@ -385,6 +592,30 @@ mod tests {
         assert!(t.num_nodes() <= 40 && t.num_nodes() >= 13);
         assert_eq!(Family::Star.build(100).num_nodes(), 100);
         assert!(Family::Lollipop.build(80).num_nodes() <= 80);
+        assert_eq!(Family::Complete.build(64).num_nodes(), 64);
+        assert_eq!(Family::CompleteMinusEdge.build(64).num_nodes(), 64);
+        // K_n has one more edge than K_n − e.
+        assert_eq!(
+            Family::Complete.build(64).num_edges(),
+            Family::CompleteMinusEdge.build(64).num_edges() + 1
+        );
+        for intersecting in [false, true] {
+            let g = Family::Disjointness { intersecting }.build(300);
+            assert!(g.num_nodes() <= 300, "{}", g.num_nodes());
+            assert!(g.num_nodes() > 150, "{}", g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn disjointness_family_encodes_the_diameter_gap() {
+        use radio_graph::diameter::exact_diameter;
+        let disjoint = Family::Disjointness {
+            intersecting: false,
+        }
+        .build(120);
+        let overlap = Family::Disjointness { intersecting: true }.build(120);
+        assert_eq!(exact_diameter(&disjoint), Some(2));
+        assert_eq!(exact_diameter(&overlap), Some(3));
     }
 
     #[test]
@@ -396,6 +627,8 @@ mod tests {
             assert_eq!(r.outcome, r.n as u64);
             assert!(r.max_lb_energy > 0);
             assert!(r.lb_calls > 0);
+            assert_eq!(r.backend, "abstract");
+            assert!(r.max_physical_energy.is_none());
         }
         // Clustering forms at least one cluster and stays within budget.
         for r in records
@@ -436,9 +669,70 @@ mod tests {
             sizes: vec![96],
             seeds: (0..3).collect(),
             protocol: Protocol::RecursiveBfs,
+            stack: StackSpec::Abstract,
         });
         for r in &records {
             assert_eq!(r.outcome, 96, "seed {} mislabelled the path", r.seed);
+        }
+    }
+
+    #[test]
+    fn physical_backend_scenarios_carry_slot_columns() {
+        let records = run_scenario(&Scenario {
+            name: "phys".into(),
+            family: Family::Grid,
+            sizes: vec![36],
+            seeds: (0..2).collect(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Physical { cd: false },
+        });
+        for r in &records {
+            assert_eq!(r.backend, "physical");
+            assert_eq!(r.outcome, r.n as u64, "physical BFS mislabelled");
+            let phys = r.max_physical_energy.expect("slot column");
+            assert!(
+                phys > r.max_lb_energy,
+                "Decay expansion must cost more slots than LB units"
+            );
+            assert!(r.physical_slots.unwrap() >= r.lb_calls);
+        }
+    }
+
+    #[test]
+    fn cd_sweep_beats_no_cd_on_sparse_neighbourhoods() {
+        // The acceptance comparison for the CD-aware decay: identical
+        // LbSweep scenarios on path(64), physical backend, CD on vs off.
+        // With CD, hopeless receivers resolve after one iteration and
+        // senders retire via the echo slot, so both the max per-node energy
+        // and the elapsed slots drop.
+        let run = |cd: bool| {
+            run_scenario(&Scenario {
+                name: "cdcmp".into(),
+                family: Family::Path,
+                sizes: vec![64],
+                seeds: (0..3).collect(),
+                protocol: Protocol::LbSweep { rounds: 4 },
+                stack: StackSpec::Physical { cd },
+            })
+        };
+        for (no_cd, with_cd) in run(false).iter().zip(run(true)) {
+            assert_eq!(no_cd.seed, with_cd.seed);
+            // Same LB-unit accounting (the unit of analysis is unchanged)...
+            assert_eq!(no_cd.lb_calls, with_cd.lb_calls);
+            assert_eq!(no_cd.max_lb_energy, with_cd.max_lb_energy);
+            // ...but strictly cheaper physical execution.
+            assert!(
+                with_cd.max_physical_energy.unwrap() < no_cd.max_physical_energy.unwrap(),
+                "seed {}: CD {} ≥ no-CD {}",
+                no_cd.seed,
+                with_cd.max_physical_energy.unwrap(),
+                no_cd.max_physical_energy.unwrap()
+            );
+            assert!(
+                with_cd.physical_slots.unwrap() < no_cd.physical_slots.unwrap(),
+                "seed {}: CD used as many slots",
+                no_cd.seed
+            );
         }
     }
 }

@@ -4,13 +4,13 @@
 //!   up to `D'` using `D'` time and energy, by calling Local-Broadcast `D'`
 //!   times" (paper, Section 4.3). It is both the base case of the recursion
 //!   and, run on the whole graph, the classical Decay-style BFS baseline
-//!   ([3]) that the recursive algorithm is compared against in experiment
+//!   (\[3\]) that the recursive algorithm is compared against in experiment
 //!   E6: every active, unsettled vertex listens in every call, so the
 //!   per-vertex energy is `Θ(D)` Local-Broadcast units.
 //! * [`decay_bfs`] — the same wavefront protocol without a known distance
 //!   bound: it keeps advancing until a full sweep settles nothing new.
 
-use radio_protocols::{LbFrame, LbNetwork, Msg};
+use radio_protocols::{LbFrame, Msg, RadioStack};
 
 /// Result of a wavefront BFS at the Local-Broadcast level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,7 +31,7 @@ pub struct WavefrontResult {
 /// the recursive algorithm uses to advance its wavefront one `β⁻¹`-step
 /// stage at a time (there restricted to the set `X_i`).
 pub fn trivial_bfs(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     sources: &[usize],
     active: &[bool],
     depth: u64,
@@ -44,7 +44,7 @@ pub fn trivial_bfs(
 /// caller-provided frame, so batched callers (the recursion's base case,
 /// the multi-seed scenario runner) reuse one allocation across many runs.
 pub fn trivial_bfs_with_frame(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     sources: &[usize],
     active: &[bool],
     depth: u64,
@@ -89,7 +89,7 @@ pub fn trivial_bfs_with_frame(
 
 /// Decay-style BFS without a distance bound: advances the wavefront until a
 /// sweep settles no new vertex. All unsettled vertices listen in every call.
-pub fn decay_bfs(net: &mut dyn LbNetwork, source: usize) -> WavefrontResult {
+pub fn decay_bfs(net: &mut dyn RadioStack, source: usize) -> WavefrontResult {
     let n = net.num_nodes();
     let mut dist: Vec<Option<u64>> = vec![None; n];
     dist[source] = Some(0);
@@ -130,7 +130,7 @@ mod tests {
     use super::*;
     use radio_graph::bfs::bfs_distances;
     use radio_graph::{generators, INFINITY};
-    use radio_protocols::AbstractLbNetwork;
+    use radio_protocols::{RadioStack, StackBuilder};
 
     fn check_against_reference(g: &radio_graph::Graph, result: &WavefrontResult, source: usize) {
         let truth = bfs_distances(g, source);
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn trivial_bfs_matches_reference_on_grid() {
         let g = generators::grid(7, 9);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let active = vec![true; g.num_nodes()];
         let result = trivial_bfs(&mut net, &[0], &active, 100);
         check_against_reference(&g, &result, 0);
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn trivial_bfs_respects_depth_bound() {
         let g = generators::path(20);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let active = vec![true; 20];
         let result = trivial_bfs(&mut net, &[0], &active, 5);
         assert_eq!(result.dist[5], Some(5));
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn trivial_bfs_respects_active_set() {
         let g = generators::path(6);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let mut active = vec![true; 6];
         active[3] = false;
         let result = trivial_bfs(&mut net, &[0], &active, 10);
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn trivial_bfs_multi_source() {
         let g = generators::path(9);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let active = vec![true; 9];
         let result = trivial_bfs(&mut net, &[0, 8], &active, 10);
         assert_eq!(result.dist[4], Some(4));
@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn trivial_bfs_inactive_source_is_ignored() {
         let g = generators::path(4);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let mut active = vec![true; 4];
         active[0] = false;
         let result = trivial_bfs(&mut net, &[0], &active, 10);
@@ -198,7 +198,7 @@ mod tests {
     fn trivial_bfs_energy_is_linear_in_depth() {
         // The point of the baseline: per-vertex energy grows with D.
         let g = generators::path(50);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let active = vec![true; 50];
         let _ = trivial_bfs(&mut net, &[0], &active, 49);
         // The last vertex listens in every one of the 49 calls.
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn decay_bfs_matches_reference_and_halts() {
         let g = generators::grid(6, 6);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let result = decay_bfs(&mut net, 7);
         check_against_reference(&g, &result, 7);
         // Exactly eccentricity-many productive sweeps.
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn decay_bfs_on_disconnected_graph_leaves_unreachable_unset() {
         let g = radio_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let result = decay_bfs(&mut net, 0);
         check_against_reference(&g, &result, 0);
         assert_eq!(result.dist[3], None);

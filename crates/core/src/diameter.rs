@@ -18,7 +18,7 @@
 use radio_graph::Dist;
 use radio_protocols::aggregate::{find_max, find_min};
 use radio_protocols::leader::designated_leader;
-use radio_protocols::{LbNetwork, Msg};
+use radio_protocols::{Msg, RadioStack};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -52,7 +52,7 @@ fn labels_to_dists(dist: &[Option<u64>]) -> Vec<Dist> {
 /// Runs one BFS (over the pre-built hierarchy) from `sources` with the
 /// doubling trick so that every reachable vertex is labelled.
 fn full_bfs(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     hierarchy: &[radio_protocols::ClusterState],
     sources: &[usize],
     config: &RecursiveBfsConfig,
@@ -72,7 +72,7 @@ fn full_bfs(
 /// Theorem 5.3: a 2-approximation of the diameter (`D' ∈ [diam/2, diam]`)
 /// using one BFS plus one Find-Maximum.
 pub fn two_approx_diameter(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     config: &RecursiveBfsConfig,
 ) -> DiameterEstimate {
     let leader = designated_leader(net).leader;
@@ -101,7 +101,7 @@ pub fn two_approx_diameter(
 /// Theorem 5.4: a nearly-3/2 approximation (`⌊2·diam/3⌋ ≤ D' ≤ diam`
 /// w.h.p.) using `Õ(√n)` BFS computations and aggregations.
 pub fn three_halves_approx_diameter(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     config: &RecursiveBfsConfig,
     seed: u64,
 ) -> DiameterEstimate {
@@ -208,7 +208,7 @@ pub fn three_halves_approx_diameter(
 /// Announces the members of `set` to the whole network, one Find-Minimum per
 /// member, over the BFS tree `tree`. Returns the number of aggregation
 /// rounds used.
-fn announce_set(net: &mut dyn LbNetwork, tree: &[Dist], set: &[usize], n: usize) -> u64 {
+fn announce_set(net: &mut dyn RadioStack, tree: &[Dist], set: &[usize], n: usize) -> u64 {
     let msgs: Vec<Msg> = (0..n).map(|v| Msg::words(&[v as u64])).collect();
     let mut announced = vec![false; n];
     let member: Vec<bool> = {
@@ -249,7 +249,7 @@ mod tests {
     use super::*;
     use radio_graph::diameter::{exact_diameter, satisfies_theorem_5_4_bound};
     use radio_graph::generators;
-    use radio_protocols::AbstractLbNetwork;
+    use radio_protocols::StackBuilder;
 
     fn config() -> RecursiveBfsConfig {
         RecursiveBfsConfig {
@@ -272,7 +272,7 @@ mod tests {
         ];
         for g in graphs {
             let diam = exact_diameter(&g).unwrap() as u64;
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let est = two_approx_diameter(&mut net, &config());
             assert!(
                 est.estimate <= diam,
@@ -295,7 +295,7 @@ mod tests {
     fn two_approx_reports_setup_and_query_energy_separately() {
         let n = 200;
         let g = generators::path(n);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let cfg = RecursiveBfsConfig {
             inv_beta: 16,
             max_depth: 1,
@@ -325,7 +325,7 @@ mod tests {
         ];
         for g in graphs {
             let diam = exact_diameter(&g).unwrap();
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let est = three_halves_approx_diameter(&mut net, &config(), 42);
             assert!(
                 satisfies_theorem_5_4_bound(diam, est.estimate as u32),
@@ -341,7 +341,7 @@ mod tests {
     fn three_halves_uses_about_sqrt_n_bfs_computations() {
         let g = generators::grid(7, 7);
         let n = g.num_nodes();
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let est = three_halves_approx_diameter(&mut net, &config(), 7);
         let sqrt_n = (n as f64).sqrt();
         // |S| ≈ √n·log n plus √n from R plus 2: allow a wide but meaningful
@@ -361,7 +361,7 @@ mod tests {
         // 3/2-approx also reaches it despite its more elaborate schedule.
         let g = generators::cycle(30);
         let diam = exact_diameter(&g).unwrap() as u64;
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let est = three_halves_approx_diameter(&mut net, &config(), 3);
         assert_eq!(est.estimate, diam);
     }
@@ -370,7 +370,7 @@ mod tests {
     fn announce_set_counts_every_member_once() {
         let g = generators::path(20);
         let tree: Vec<Dist> = radio_graph::bfs::bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let rounds = announce_set(&mut net, &tree, &[3, 7, 15], 20);
         assert_eq!(rounds, 3);
     }

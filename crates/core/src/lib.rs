@@ -7,7 +7,7 @@
 //! * [`estimates`] — the per-cluster distance-estimate intervals
 //!   `[L_i(C), U_i(C)]` and their Automatic / Special updates (Invariant
 //!   4.1).
-//! * [`recursive_bfs`] — the recursive, sub-polynomial-energy BFS of
+//! * [`recursive_bfs`](mod@recursive_bfs) — the recursive, sub-polynomial-energy BFS of
 //!   Section 4 (Figure 2), together with the cluster-hierarchy construction
 //!   it recurses through.
 //! * [`baseline`] — the trivial wavefront BFS and the Decay-style

@@ -11,12 +11,17 @@
 //! * **Figure 3 traces**: the evolution of `[L_i(C), U_i(C)]` for chosen
 //!   clusters — also in [`RecursionStats`].
 
-use radio_protocols::{LbNetwork, PhysicalLbNetwork};
+use radio_protocols::{EnergyView, RadioStack};
 use serde::{Deserialize, Serialize};
 
 use crate::estimates::EstimateTracePoint;
 
-/// A snapshot of a network's energy/time counters.
+/// A serializable digest of a stack's energy/time counters.
+///
+/// Built from the unified [`EnergyView`] snapshot, so a single `of` call
+/// covers every backend: the physical fields are populated exactly when the
+/// stack's capabilities include slot-level counters (there is no separate
+/// `of_physical` path anymore).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergySummary {
     /// Number of nodes.
@@ -27,37 +32,31 @@ pub struct EnergySummary {
     pub mean_lb_energy: f64,
     /// Total Local-Broadcast calls (time in LB units).
     pub lb_time: u64,
-    /// Maximum per-node physical energy (slots), when available.
+    /// Maximum per-node physical energy (model-weighted slots), when the
+    /// stack is physically capable.
     pub max_physical_energy: Option<u64>,
-    /// Elapsed physical slots, when available.
+    /// Elapsed physical slots, when the stack is physically capable.
     pub physical_slots: Option<u64>,
 }
 
 impl EnergySummary {
-    /// Summarizes any [`LbNetwork`] (LB units only).
-    pub fn of(net: &dyn LbNetwork) -> Self {
-        let nodes = net.num_nodes();
-        let total: u64 = (0..nodes).map(|v| net.lb_energy(v)).sum();
-        EnergySummary {
-            nodes,
-            max_lb_energy: net.max_lb_energy(),
-            mean_lb_energy: if nodes == 0 {
-                0.0
-            } else {
-                total as f64 / nodes as f64
-            },
-            lb_time: net.lb_time(),
-            max_physical_energy: None,
-            physical_slots: None,
-        }
+    /// Summarizes any [`RadioStack`] — LB units always, slot-level counters
+    /// whenever the stack has them.
+    pub fn of(net: &dyn RadioStack) -> Self {
+        Self::of_view(&net.energy_view())
     }
 
-    /// Summarizes a [`PhysicalLbNetwork`], including slot-level counters.
-    pub fn of_physical(net: &PhysicalLbNetwork) -> Self {
-        let mut s = Self::of(net);
-        s.max_physical_energy = Some(net.max_physical_energy());
-        s.physical_slots = Some(net.physical_slots());
-        s
+    /// Digests an already-taken [`EnergyView`] snapshot (e.g. a
+    /// [`EnergyView::diff`] of two phases).
+    pub fn of_view(view: &EnergyView) -> Self {
+        EnergySummary {
+            nodes: view.nodes(),
+            max_lb_energy: view.max_lb_energy(),
+            mean_lb_energy: view.mean_lb_energy(),
+            lb_time: view.lb_time(),
+            max_physical_energy: view.max_physical_energy(),
+            physical_slots: view.physical_slots(),
+        }
     }
 
     /// The difference `self − before`, for measuring one phase of a longer
@@ -163,12 +162,12 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 mod tests {
     use super::*;
     use radio_graph::generators;
-    use radio_protocols::{local_broadcast_once, AbstractLbNetwork, Msg};
+    use radio_protocols::{local_broadcast_once, Msg, StackBuilder};
 
     #[test]
     fn summary_of_abstract_network() {
         let g = generators::path(4);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         local_broadcast_once(&mut net, &[(0, Msg::words(&[1]))], &[1, 2]);
         let s = EnergySummary::of(&net);
         assert_eq!(s.nodes, 4);

@@ -23,7 +23,7 @@
 
 use radio_protocols::cast::{down_cast, up_cast};
 use radio_protocols::{
-    cluster_distributed, ClusterState, LbFrame, LbNetwork, Msg, NodeSet, NodeSlots,
+    cluster_distributed, ClusterState, LbFrame, Msg, NodeSet, NodeSlots, RadioStack,
     VirtualClusterNet,
 };
 use rand::SeedableRng;
@@ -53,13 +53,13 @@ pub struct BfsOutcome {
 /// The paper computes each level's clustering once and reuses it across all
 /// recursive calls on that level; callers should likewise build the
 /// hierarchy once and amortize its energy across BFS queries.
-pub fn build_hierarchy(net: &mut dyn LbNetwork, config: &RecursiveBfsConfig) -> Vec<ClusterState> {
+pub fn build_hierarchy(net: &mut dyn RadioStack, config: &RecursiveBfsConfig) -> Vec<ClusterState> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
     build_hierarchy_inner(net, config.max_depth, config, &mut rng)
 }
 
 fn build_hierarchy_inner(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     levels: usize,
     config: &RecursiveBfsConfig,
     rng: &mut ChaCha8Rng,
@@ -81,7 +81,7 @@ fn build_hierarchy_inner(
 /// Runs the full algorithm: builds the cluster hierarchy and then performs
 /// one BFS from `source` up to distance `depth_bound`.
 pub fn recursive_bfs(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     source: usize,
     depth_bound: u64,
     config: &RecursiveBfsConfig,
@@ -94,7 +94,7 @@ pub fn recursive_bfs(
 /// thresholds `D₀ = 2, 4, 8, …` are tried until every vertex reachable from
 /// the source is labelled (or the threshold exceeds `2n`).
 pub fn recursive_bfs_full(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     source: usize,
     config: &RecursiveBfsConfig,
 ) -> BfsOutcome {
@@ -119,7 +119,7 @@ pub fn recursive_bfs_full(
 /// * `trace_clusters` — top-level cluster indices whose estimate evolution
 ///   should be recorded (Figure 3 / experiment E8).
 pub fn recursive_bfs_with_hierarchy(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     hierarchy: &[ClusterState],
     sources: &[usize],
     depth_bound: u64,
@@ -155,7 +155,7 @@ pub fn recursive_bfs_with_hierarchy(
 /// the network it was called on, restricted to its active set and depth.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     hierarchy: &[ClusterState],
     sources: &[usize],
     active: &mut [bool],
@@ -417,7 +417,7 @@ fn source_clusters(state: &ClusterState, sources: &[usize], active: &[bool]) -> 
 /// Charges the up-cast by which sources announce themselves to their cluster
 /// centers before the initial recursive call.
 fn charge_source_upcast(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     state: &ClusterState,
     sources: &[usize],
     active: &[bool],
@@ -446,7 +446,7 @@ fn charge_source_upcast(
 /// Charges the up-cast by which the new wavefront vertices announce their
 /// clusters as sources of the Special Update's recursive call.
 fn charge_wavefront_upcast(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     state: &ClusterState,
     wavefront: &[usize],
     upsilon: &NodeSet,
@@ -470,7 +470,7 @@ fn charge_wavefront_upcast(
 /// Charges the down-cast by which cluster centers disseminate the outcome of
 /// a recursive call (the new `L`/`U` inputs) to their members.
 fn charge_result_downcast(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     state: &ClusterState,
     participating: &[bool],
     cluster_dist: &[Option<u64>],
@@ -546,7 +546,7 @@ mod tests {
     use crate::baseline::trivial_bfs;
     use radio_graph::bfs::bfs_distances;
     use radio_graph::{generators, INFINITY};
-    use radio_protocols::AbstractLbNetwork;
+    use radio_protocols::StackBuilder;
 
     fn verify_against_reference(
         g: &radio_graph::Graph,
@@ -576,7 +576,7 @@ mod tests {
     #[test]
     fn matches_reference_on_a_path_one_level() {
         let g = generators::path(120);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 8,
             max_depth: 1,
@@ -590,7 +590,7 @@ mod tests {
     #[test]
     fn matches_reference_on_a_grid() {
         let g = generators::grid(12, 12);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -605,7 +605,7 @@ mod tests {
     #[test]
     fn respects_depth_bound() {
         let g = generators::path(100);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -625,7 +625,7 @@ mod tests {
     #[test]
     fn two_level_recursion_matches_reference() {
         let g = generators::path(200);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 2,
@@ -642,7 +642,7 @@ mod tests {
     #[test]
     fn multi_source_and_restricted_active_set() {
         let g = generators::grid(10, 10);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -672,7 +672,7 @@ mod tests {
         let mut edges: Vec<(usize, usize)> = (0..49).map(|i| (i, i + 1)).collect();
         edges.push((60, 61));
         let g = radio_graph::Graph::from_edges(70, &edges);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -689,7 +689,7 @@ mod tests {
     #[test]
     fn recursive_bfs_full_labels_everything_reachable() {
         let g = generators::grid(9, 11);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -723,7 +723,7 @@ mod tests {
                 seed: 17,
                 ..Default::default()
             };
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let hierarchy = build_hierarchy(&mut net, &config);
             let setup = crate::metrics::EnergySummary::of(&net);
             let outcome =
@@ -731,7 +731,7 @@ mod tests {
             verify_against_reference(&g, &outcome, 0, depth);
             let query = crate::metrics::EnergySummary::of(&net).since(&setup);
 
-            let mut baseline_net = AbstractLbNetwork::new(g.clone());
+            let mut baseline_net = StackBuilder::new(g.clone()).build();
             let active = vec![true; n];
             let _ = trivial_bfs(&mut baseline_net, &[0], &active, depth);
             (query.max_lb_energy, baseline_net.max_lb_energy())
@@ -758,7 +758,7 @@ mod tests {
         // of stages does).
         let measure = |n: usize| -> (u64, u64) {
             let g = generators::path(n);
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let config = RecursiveBfsConfig {
                 inv_beta: 8,
                 max_depth: 1,
@@ -792,7 +792,7 @@ mod tests {
     #[test]
     fn estimate_traces_are_recorded_and_monotone_in_upper_bound() {
         let g = generators::path(300);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let config = RecursiveBfsConfig {
             inv_beta: 8,
             max_depth: 1,
@@ -821,7 +821,7 @@ mod tests {
     #[test]
     fn hierarchy_depth_respects_config_and_graph_size() {
         let g = generators::grid(8, 8);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 3,

@@ -9,7 +9,7 @@ use energy_bfs::zseq::{ruler, ZSequence, ALPHA};
 use energy_bfs::{recursive_bfs, RecursiveBfsConfig};
 use radio_graph::bfs::bfs_distances;
 use radio_graph::{generators, Graph, INFINITY};
-use radio_protocols::AbstractLbNetwork;
+use radio_protocols::StackBuilder;
 
 /// Strategy: a connected random graph on up to 40 vertices (random tree plus
 /// random extra edges).
@@ -109,7 +109,7 @@ proptest! {
         let n = g.num_nodes();
         let source = src % n;
         let truth = bfs_distances(&g, source);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let active = vec![true; n];
         let result = trivial_bfs(&mut net, &[source], &active, n as u64);
         for (v, &found) in result.dist.iter().enumerate() {
@@ -133,7 +133,7 @@ proptest! {
             seed,
             ..Default::default()
         };
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let outcome = recursive_bfs(&mut net, source, depth.max(1), &config);
         for (v, &found) in outcome.dist.iter().enumerate() {
             prop_assert_eq!(found, Some(truth[v] as u64), "vertex {}", v);

@@ -18,8 +18,8 @@ use radio_graph::Dist;
 use radio_sim::NodeSlots;
 
 use crate::broadcast::{down_sweep, up_sweep};
-use crate::lb::LbNetwork;
 use crate::message::Msg;
+use crate::stack::RadioStack;
 
 /// The winner of an aggregation: its key and its message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,7 +44,7 @@ enum Direction {
 /// `labels` must be a BFS labelling rooted at the leader (label 0);
 /// `key_bound` is the exclusive upper bound `K` on key values.
 pub fn find_min(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     keys: &[Option<u64>],
     messages: &[Msg],
@@ -55,7 +55,7 @@ pub fn find_min(
 
 /// Finds the maximum key among vertices with `Some` key (see [`find_min`]).
 pub fn find_max(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     keys: &[Option<u64>],
     messages: &[Msg],
@@ -67,7 +67,7 @@ pub fn find_max(
 /// One "existence query": the leader learns whether any vertex's key lies in
 /// `[lo, hi]`. Implemented as a query down sweep followed by an OR up sweep.
 fn exists_in_range(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     keys: &[Option<u64>],
     lo: u64,
@@ -96,7 +96,7 @@ fn exists_in_range(
 }
 
 fn find_extremum(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     keys: &[Option<u64>],
     messages: &[Msg],
@@ -165,9 +165,7 @@ fn find_extremum(
 
     // Final dissemination of the winner to everyone (the diameter algorithms
     // need all vertices to know the result).
-    let mut payload = vec![winner_key];
-    payload.extend_from_slice(&message.0);
-    let final_msg = Msg(payload);
+    let final_msg = message.prepended(winner_key);
     let _ = down_sweep(net, labels, |v| {
         if labels[v] == 0 {
             Some(final_msg.clone())
@@ -185,7 +183,7 @@ fn find_extremum(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lb::AbstractLbNetwork;
+    use crate::stack::{RadioStack, StackBuilder};
     use radio_graph::bfs::bfs_distances;
     use radio_graph::generators;
 
@@ -203,7 +201,7 @@ mod tests {
         let labels = bfs_distances(&g, 0);
         let n = g.num_nodes();
         let values: Vec<u64> = (0..n as u64).map(|v| (v * 7 + 3) % 101).collect();
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = find_min(&mut net, &labels, &keys_from(&values), &id_messages(n), 101)
             .expect("a minimum exists");
         let true_min = *values.iter().min().unwrap();
@@ -217,7 +215,7 @@ mod tests {
         let g = generators::path(20);
         let labels = bfs_distances(&g, 0);
         let values: Vec<u64> = (0..20).map(|v| (v * 13) % 50).collect();
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = find_max(&mut net, &labels, &keys_from(&values), &id_messages(20), 50)
             .expect("a maximum exists");
         assert_eq!(result.key, *values.iter().max().unwrap());
@@ -230,7 +228,7 @@ mod tests {
         let mut keys = vec![None; 10];
         keys[7] = Some(42);
         keys[3] = Some(17);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = find_min(&mut net, &labels, &keys, &id_messages(10), 1000).unwrap();
         assert_eq!(result.key, 17);
         assert_eq!(result.message.word(0), 3);
@@ -243,7 +241,7 @@ mod tests {
     fn no_keys_returns_none() {
         let g = generators::path(5);
         let labels = bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         assert!(find_min(&mut net, &labels, &[None; 5], &id_messages(5), 10).is_none());
     }
 
@@ -255,7 +253,7 @@ mod tests {
         let n = g.num_nodes();
         let values: Vec<u64> = (0..n as u64).map(|v| v % 997).collect();
         let key_bound = 1u64 << 20;
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let _ = find_min(
             &mut net,
             &labels,
@@ -278,7 +276,7 @@ mod tests {
         let g = generators::cycle(12);
         let labels = bfs_distances(&g, 0);
         let values = vec![5u64; 12];
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result =
             find_min(&mut net, &labels, &keys_from(&values), &id_messages(12), 10).unwrap();
         assert_eq!(result.key, 5);

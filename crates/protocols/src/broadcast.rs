@@ -9,13 +9,13 @@
 //! Section 5.1 use for their layer-by-layer sweeps.
 //!
 //! Both sweeps drive all of their layer calls through one internally reused
-//! [`LbFrame`], so a sweep performs no per-layer allocation.
+//! [`LbFrame`](crate::LbFrame), so a sweep performs no per-layer allocation.
 
 use radio_graph::Dist;
 use radio_sim::NodeSlots;
 
-use crate::lb::LbNetwork;
 use crate::message::Msg;
+use crate::stack::RadioStack;
 
 /// Broadcasts `message` from the vertices labelled 0 in `labels` down the
 /// BFS layers. Returns, for every vertex, the message it received (`None`
@@ -24,7 +24,7 @@ use crate::message::Msg;
 ///
 /// Each vertex participates in at most two Local-Broadcast calls.
 pub fn layered_broadcast(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     message: &Msg,
 ) -> Vec<Option<Msg>> {
@@ -40,7 +40,7 @@ pub fn layered_broadcast(
 /// Generalized down sweep: vertices at layer 0 start out holding the message
 /// produced by `initial`; each subsequent layer receives from the previous
 /// one. Holders forward what they hold (or their own initial message).
-pub fn down_sweep<F>(net: &mut dyn LbNetwork, labels: &[Dist], initial: F) -> Vec<Option<Msg>>
+pub fn down_sweep<F>(net: &mut dyn RadioStack, labels: &[Dist], initial: F) -> Vec<Option<Msg>>
 where
     F: Fn(usize) -> Option<Msg>,
 {
@@ -83,7 +83,7 @@ where
 /// its own). Returns the message each layer-0 vertex ended up with, keyed
 /// by node.
 pub fn up_sweep(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     labels: &[Dist],
     holders: &NodeSlots<Msg>,
 ) -> NodeSlots<Msg> {
@@ -134,7 +134,7 @@ pub fn up_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lb::AbstractLbNetwork;
+    use crate::stack::{RadioStack, StackBuilder};
     use radio_graph::bfs::bfs_distances;
     use radio_graph::generators;
 
@@ -142,7 +142,7 @@ mod tests {
     fn broadcast_reaches_every_vertex_on_a_grid() {
         let g = generators::grid(8, 8);
         let labels = bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let out = layered_broadcast(&mut net, &labels, &Msg::words(&[123]));
         for v in g.nodes() {
             assert_eq!(out[v].as_ref().map(|m| m.word(0)), Some(123), "vertex {v}");
@@ -155,7 +155,7 @@ mod tests {
     fn broadcast_skips_unreachable_vertices() {
         let g = radio_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
         let labels = bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let out = layered_broadcast(&mut net, &labels, &Msg::words(&[9]));
         assert!(out[2].is_some());
         assert!(out[3].is_none());
@@ -166,7 +166,7 @@ mod tests {
     fn up_sweep_delivers_a_deep_message_to_the_root() {
         let g = generators::path(10);
         let labels = bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let mut holders = NodeSlots::new(10);
         holders.insert(9, Msg::words(&[55]));
         let at_root = up_sweep(&mut net, &labels, &holders);
@@ -179,7 +179,7 @@ mod tests {
     fn up_sweep_with_no_holders_returns_nothing() {
         let g = generators::path(5);
         let labels = bfs_distances(&g, 0);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let at_root = up_sweep(&mut net, &labels, &NodeSlots::new(5));
         assert!(at_root.is_empty());
     }
@@ -188,7 +188,7 @@ mod tests {
     fn down_sweep_merges_multiple_sources() {
         let g = generators::path(9);
         let labels = radio_graph::bfs::multi_source_bfs(&g, &[0, 8]);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let out = down_sweep(&mut net, &labels, |v| {
             if labels[v] == 0 {
                 Some(Msg::words(&[v as u64]))

@@ -25,20 +25,19 @@
 use radio_sim::{NodeSet, NodeSlots};
 
 use crate::clustering::ClusterState;
-use crate::lb::{LbFrame, LbNetwork};
+use crate::lb::LbFrame;
 use crate::message::Msg;
+use crate::stack::RadioStack;
 
 /// Wraps a payload with the cluster index it belongs to.
 fn wrap(cluster: usize, payload: &Msg) -> Msg {
-    let mut words = Vec::with_capacity(payload.len() + 1);
-    words.push(cluster as u64);
-    words.extend_from_slice(&payload.0);
-    Msg(words)
+    payload.prepended(cluster as u64)
 }
 
 /// Splits a wrapped message into (cluster index, payload).
 fn unwrap(m: &Msg) -> (usize, Msg) {
-    (m.word(0) as usize, Msg(m.0[1..].to_vec()))
+    let (cluster, payload) = m.split_first();
+    (cluster as usize, payload)
 }
 
 /// The step schedule of one cast: for each step `j ∈ [ℓ]` used by some
@@ -74,7 +73,7 @@ impl StepSchedule {
 /// the cast failed to reach, which happens only through Local-Broadcast
 /// delivery failures).
 pub fn down_cast(
-    parent: &mut dyn LbNetwork,
+    parent: &mut dyn RadioStack,
     state: &ClusterState,
     messages: &NodeSlots<Msg>,
     frame: &mut LbFrame,
@@ -134,7 +133,7 @@ pub fn down_cast(
 /// keyed by cluster index. Clusters with no holders are absent from the
 /// result.
 pub fn up_cast(
-    parent: &mut dyn LbNetwork,
+    parent: &mut dyn RadioStack,
     state: &ClusterState,
     participating: &NodeSet,
     messages: &NodeSlots<Msg>,
@@ -198,13 +197,13 @@ pub fn up_cast(
 mod tests {
     use super::*;
     use crate::clustering::{cluster_distributed, ClusteringConfig};
-    use crate::lb::AbstractLbNetwork;
+    use crate::stack::{Stack, StackBuilder};
     use radio_graph::generators;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup(g: radio_graph::Graph, inv_beta: u64, seed: u64) -> (AbstractLbNetwork, ClusterState) {
-        let mut net = AbstractLbNetwork::new(g);
+    fn setup(g: radio_graph::Graph, inv_beta: u64, seed: u64) -> (Stack, ClusterState) {
+        let mut net = StackBuilder::new(g).build();
         let cfg = ClusteringConfig::new(inv_beta);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);

@@ -1,6 +1,6 @@
 //! Simulating a radio network on the cluster graph `G*` (paper, Lemma 3.2).
 //!
-//! [`VirtualClusterNet`] exposes the cluster graph as an [`LbNetwork`]
+//! [`VirtualClusterNet`] exposes the cluster graph as a [`RadioStack`]
 //! whose nodes are clusters. A Local-Broadcast call on `G*` with sending
 //! clusters `S` and receiving clusters `R` is simulated by:
 //!
@@ -10,7 +10,7 @@
 //! 3. an Up-cast in every `C ∈ R`, delivering one received message to the
 //!    cluster center.
 //!
-//! Because the result is itself an `LbNetwork`, any algorithm written
+//! Because the result is itself a `RadioStack`, any algorithm written
 //! against the abstraction — including the recursive BFS of Section 4 and
 //! the distributed clustering itself — runs unchanged on `G*`, at the cost
 //! of `O(log n)` extra Local-Broadcast participations per underlying device
@@ -21,12 +21,13 @@ use radio_sim::{NodeSet, NodeSlots};
 
 use crate::cast::{down_cast, up_cast};
 use crate::clustering::ClusterState;
-use crate::lb::{LbFrame, LbNetwork};
+use crate::lb::LbFrame;
 use crate::ledger::LbLedger;
 use crate::message::Msg;
+use crate::stack::{Capabilities, RadioStack};
 
 /// A virtual radio network whose nodes are the clusters of a
-/// [`ClusterState`] over some parent [`LbNetwork`].
+/// [`ClusterState`] over some parent [`RadioStack`].
 ///
 /// The net owns the scratch buffers for the parent-level plumbing — one
 /// parent-sized [`LbFrame`] driven through both casts and the crossing
@@ -34,7 +35,7 @@ use crate::message::Msg;
 /// cluster set — so a long sequence of virtual calls (the normal case in
 /// the recursive BFS) allocates nothing per call.
 pub struct VirtualClusterNet<'a> {
-    parent: &'a mut dyn LbNetwork,
+    parent: &'a mut dyn RadioStack,
     state: &'a ClusterState,
     ledger: LbLedger,
     global_n: usize,
@@ -50,7 +51,7 @@ pub struct VirtualClusterNet<'a> {
 
 impl<'a> VirtualClusterNet<'a> {
     /// Wraps `parent` with the clustering `state`.
-    pub fn new(parent: &'a mut dyn LbNetwork, state: &'a ClusterState) -> Self {
+    pub fn new(parent: &'a mut dyn RadioStack, state: &'a ClusterState) -> Self {
         let global_n = parent.global_n();
         let ledger = LbLedger::new(state.num_clusters());
         let parent_frame = parent.new_frame();
@@ -80,18 +81,32 @@ impl<'a> VirtualClusterNet<'a> {
 
     /// Mutable access to the parent network (e.g. to interleave real and
     /// virtual phases, as the recursive BFS does).
-    pub fn parent_mut(&mut self) -> &mut dyn LbNetwork {
+    pub fn parent_mut(&mut self) -> &mut dyn RadioStack {
         self.parent
     }
 }
 
-impl LbNetwork for VirtualClusterNet<'_> {
+impl RadioStack for VirtualClusterNet<'_> {
     fn num_nodes(&self) -> usize {
         self.state.num_clusters()
     }
 
     fn global_n(&self) -> usize {
         self.global_n
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        // The virtual layer exposes the paper's plain Local-Broadcast
+        // abstraction regardless of what the parent can do: casts cannot
+        // propagate channel verdicts through cluster centers, so the
+        // feedback lane stays empty and CD is reported as absent. Slot-level
+        // counters likewise live on the (possibly physical) parent.
+        Capabilities {
+            collision_detection: radio_sim::CollisionDetection::None,
+            energy_model: radio_sim::EnergyModel::Uniform,
+            physical: false,
+            ledger: true,
+        }
     }
 
     fn local_broadcast(&mut self, frame: &mut LbFrame) {
@@ -162,14 +177,15 @@ impl LbNetwork for VirtualClusterNet<'_> {
 mod tests {
     use super::*;
     use crate::clustering::{cluster_distributed, ClusteringConfig};
-    use crate::lb::{local_broadcast_once, AbstractLbNetwork};
+    use crate::lb::local_broadcast_once;
+    use crate::stack::{Stack, StackBuilder};
     use radio_graph::bfs::bfs_distances;
     use radio_graph::generators;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn setup(g: radio_graph::Graph, inv_beta: u64, seed: u64) -> (AbstractLbNetwork, ClusterState) {
-        let mut net = AbstractLbNetwork::new(g);
+    fn setup(g: radio_graph::Graph, inv_beta: u64, seed: u64) -> (Stack, ClusterState) {
+        let mut net = StackBuilder::new(g).build();
         let cfg = ClusteringConfig::new(inv_beta);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
@@ -279,7 +295,7 @@ mod tests {
     #[test]
     fn clustering_can_run_recursively_on_the_virtual_network() {
         // The key compositional property behind Recursive-BFS: the virtual
-        // cluster network is itself an LbNetwork, so the distributed MPX
+        // cluster network is itself a RadioStack, so the distributed MPX
         // clustering runs on it unchanged.
         let g = generators::grid(12, 12);
         let (mut net, state) = setup(g.clone(), 3, 5);

@@ -21,8 +21,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::lb::LbNetwork;
 use crate::message::Msg;
+use crate::stack::RadioStack;
 
 /// Configuration of the distributed clustering.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -246,7 +246,7 @@ pub fn expand_tag_to_s_set(tag: u64, ell: usize, contention: usize) -> Vec<usize
 /// participations (every not-yet-clustered node listens each round, every
 /// clustered node sends each round), matching the lemma's accounting.
 pub fn cluster_distributed<R: Rng + ?Sized>(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     config: &ClusteringConfig,
     rng: &mut R,
 ) -> ClusterState {
@@ -363,7 +363,7 @@ pub fn cluster_distributed<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lb::AbstractLbNetwork;
+    use crate::stack::StackBuilder;
     use radio_graph::generators;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -384,7 +384,7 @@ mod tests {
     #[test]
     fn distributed_clustering_partitions_and_validates() {
         let g = generators::grid(12, 12);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let cfg = ClusteringConfig::new(4);
         let mut r = rng(1);
         let state = cluster_distributed(&mut net, &cfg, &mut r);
@@ -401,7 +401,7 @@ mod tests {
     #[test]
     fn clusters_are_connected_and_radius_bounded() {
         let g = generators::grid(15, 15);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let cfg = ClusteringConfig::new(5);
         let mut r = rng(2);
         let state = cluster_distributed(&mut net, &cfg, &mut r);
@@ -427,7 +427,7 @@ mod tests {
     #[test]
     fn energy_is_bounded_by_round_count() {
         let g = generators::grid(10, 10);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let cfg = ClusteringConfig::new(4);
         let mut r = rng(3);
         let _ = cluster_distributed(&mut net, &cfg, &mut r);
@@ -440,7 +440,10 @@ mod tests {
     #[test]
     fn lossy_delivery_still_yields_valid_partition() {
         let g = generators::grid(8, 8);
-        let mut net = AbstractLbNetwork::new(g).with_failures(0.3, 99);
+        let mut net = StackBuilder::new(g)
+            .with_failures(0.3)
+            .with_seed(99)
+            .build();
         let cfg = ClusteringConfig::new(3);
         let mut r = rng(4);
         let state = cluster_distributed(&mut net, &cfg, &mut r);
@@ -479,7 +482,7 @@ mod tests {
     fn larger_beta_gives_more_clusters() {
         let g = generators::grid(16, 16);
         let count = |inv_beta: u64, seed: u64| {
-            let mut net = AbstractLbNetwork::new(g.clone());
+            let mut net = StackBuilder::new(g.clone()).build();
             let cfg = ClusteringConfig::new(inv_beta);
             let mut r = rng(seed);
             cluster_distributed(&mut net, &cfg, &mut r).num_clusters()
@@ -492,7 +495,7 @@ mod tests {
     #[test]
     fn singleton_graph_clusters_trivially() {
         let g = radio_graph::Graph::from_edges(1, &[]);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let cfg = ClusteringConfig::new(2);
         let mut r = rng(6);
         let state = cluster_distributed(&mut net, &cfg, &mut r);

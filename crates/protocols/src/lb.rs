@@ -1,26 +1,28 @@
-//! The Local-Broadcast abstraction and its two back-ends.
+//! The Local-Broadcast frame and the two concrete [`RadioStack`] backends.
 //!
 //! **Local-Broadcast** (paper, Section 2.2): given disjoint sets `S`
 //! (senders, each holding a message) and `R` (receivers), every `v ∈ R`
 //! with `N(v) ∩ S ≠ ∅` receives some message from a neighbour in `S` with
 //! probability `1 − f`.
 //!
-//! The trait [`LbNetwork`] is deliberately object-safe: the recursive BFS
-//! builds virtual networks on top of virtual networks to an arbitrary,
-//! runtime-chosen depth, so composition happens through `&mut dyn
-//! LbNetwork` rather than through generics.
-//!
-//! Calls operate on a reusable [`LbFrame`] (a dense
-//! [`RoundFrame`](radio_sim::RoundFrame) over the network's nodes): the
+//! Calls operate on a reusable [`LbFrame`] (a dense [`RoundFrame`] over
+//! the network's nodes): the
 //! caller fills senders and receivers, the backend writes deliveries into
-//! `frame.delivered()`. Because the frame's sets iterate in ascending node
-//! order *by construction*, seeded runs are reproducible without any
-//! per-call sort, and a frame held across the thousands of calls a protocol
-//! makes costs zero allocations after the first.
+//! `frame.delivered()` — and, on collision-detection-capable stacks,
+//! per-receiver verdicts into `frame.feedback()`. Because the frame's sets
+//! iterate in ascending node order *by construction*, seeded runs are
+//! reproducible without any per-call sort, and a frame held across the
+//! thousands of calls a protocol makes costs zero allocations after the
+//! first.
+//!
+//! Both backends are constructed exclusively through
+//! [`StackBuilder`](crate::StackBuilder); see [`crate::stack`] for the
+//! trait surface and the capability matrix.
 
 use radio_graph::Graph;
 use radio_sim::{
-    decay_local_broadcast, DecayParams, DecayScratch, NodeSlots, RadioNetwork, RoundFrame,
+    decay_local_broadcast, decay_local_broadcast_cd, CollisionDetection, DecayParams, DecayScratch,
+    EnergyModel, LbFeedback, NodeSlots, RadioNetwork, RoundFrame,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -28,58 +30,19 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::ledger::LbLedger;
 use crate::message::Msg;
+use crate::stack::{Capabilities, EnergyView, RadioStack};
 
 /// The round frame all Local-Broadcast calls operate on: senders with their
-/// [`Msg`] payloads, receivers, and the delivered output.
+/// [`Msg`] payloads, receivers, the delivered output, and (on CD stacks)
+/// the per-receiver feedback lane.
 pub type LbFrame = RoundFrame<Msg>;
-
-/// A network on which Local-Broadcast can be invoked.
-///
-/// Node identifiers are `0..num_nodes()`. `global_n()` is the common upper
-/// bound "n" that all devices agree on (used for `w.h.p.` parameters); for
-/// virtual cluster networks it remains the size of the *original* network,
-/// as in the paper.
-pub trait LbNetwork {
-    /// Number of nodes in this (possibly virtual) network.
-    fn num_nodes(&self) -> usize;
-
-    /// The globally agreed upper bound `n ≥ |V|` of the underlying radio
-    /// network; all polylogarithmic parameters are functions of this.
-    fn global_n(&self) -> usize;
-
-    /// Executes one Local-Broadcast over `frame`: senders and receivers are
-    /// read from the frame, and the message each receiver heard (if any) is
-    /// written into `frame.delivered()` (cleared on entry).
-    fn local_broadcast(&mut self, frame: &mut LbFrame);
-
-    /// Energy of node `v` in Local-Broadcast units (number of calls on this
-    /// network in which `v` participated).
-    fn lb_energy(&self, v: usize) -> u64;
-
-    /// Time in Local-Broadcast units (number of calls on this network).
-    fn lb_time(&self) -> u64;
-
-    /// Maximum per-node energy in Local-Broadcast units.
-    fn max_lb_energy(&self) -> u64 {
-        (0..self.num_nodes())
-            .map(|v| self.lb_energy(v))
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Allocates a frame sized for this network. Callers should hold on to
-    /// it and `clear`/refill across calls rather than allocating per call.
-    fn new_frame(&self) -> LbFrame {
-        LbFrame::new(self.num_nodes())
-    }
-}
 
 /// Convenience for tests and one-off calls: runs one Local-Broadcast with a
 /// freshly allocated frame and returns the deliveries. Hot paths should
 /// hold their own [`LbFrame`] and call
-/// [`LbNetwork::local_broadcast`] directly.
+/// [`RadioStack::local_broadcast`] directly.
 pub fn local_broadcast_once(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     senders: &[(usize, Msg)],
     receivers: &[usize],
 ) -> NodeSlots<Msg> {
@@ -99,43 +62,38 @@ pub fn local_broadcast_once(
 /// The accounting back-end used by the paper's analysis: each call costs one
 /// unit of time, each participant one unit of energy, and delivery follows
 /// the Local-Broadcast specification exactly (optionally with an injected
-/// failure probability `f` per receiver).
+/// failure probability `f` per receiver). With collision detection enabled,
+/// the frame's feedback lane reports per-receiver verdicts: `Silence` for
+/// receivers with no sending neighbour, `Noise` for receivers whose
+/// delivery failed despite sending neighbours.
 #[derive(Clone, Debug)]
 pub struct AbstractLbNetwork {
     graph: Graph,
     global_n: usize,
-    ledger: LbLedger,
+    cd: CollisionDetection,
+    ledger: Option<LbLedger>,
     failure_prob: f64,
     rng: ChaCha8Rng,
 }
 
 impl AbstractLbNetwork {
-    /// A perfectly reliable abstract network over `graph`.
-    pub fn new(graph: Graph) -> Self {
+    pub(crate) fn from_builder(
+        graph: Graph,
+        global_n: usize,
+        cd: CollisionDetection,
+        ledger: bool,
+        failure_prob: f64,
+        seed: u64,
+    ) -> Self {
         let n = graph.num_nodes();
         AbstractLbNetwork {
             graph,
-            global_n: n.max(2),
-            ledger: LbLedger::new(n),
-            failure_prob: 0.0,
-            rng: ChaCha8Rng::seed_from_u64(0),
+            global_n,
+            cd,
+            ledger: ledger.then(|| LbLedger::new(n)),
+            failure_prob,
+            rng: ChaCha8Rng::seed_from_u64(seed),
         }
-    }
-
-    /// Sets the per-receiver delivery failure probability `f` and the RNG
-    /// seed driving both failures and tie-breaking among senders.
-    pub fn with_failures(mut self, failure_prob: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&failure_prob));
-        self.failure_prob = failure_prob;
-        self.rng = ChaCha8Rng::seed_from_u64(seed);
-        self
-    }
-
-    /// Overrides the globally known upper bound `n` (defaults to `|V|`).
-    pub fn with_global_n(mut self, n: usize) -> Self {
-        assert!(n >= self.graph.num_nodes());
-        self.global_n = n.max(2);
-        self
     }
 
     /// The underlying topology.
@@ -143,13 +101,13 @@ impl AbstractLbNetwork {
         &self.graph
     }
 
-    /// The full ledger.
-    pub fn ledger(&self) -> &LbLedger {
-        &self.ledger
+    /// The full ledger, when per-node accounting is enabled.
+    pub fn ledger(&self) -> Option<&LbLedger> {
+        self.ledger.as_ref()
     }
 }
 
-impl LbNetwork for AbstractLbNetwork {
+impl RadioStack for AbstractLbNetwork {
     fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
     }
@@ -158,11 +116,22 @@ impl LbNetwork for AbstractLbNetwork {
         self.global_n
     }
 
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            collision_detection: self.cd,
+            energy_model: EnergyModel::Uniform,
+            physical: false,
+            ledger: self.ledger.is_some(),
+        }
+    }
+
     fn local_broadcast(&mut self, frame: &mut LbFrame) {
         frame.clear_delivered();
-        let (senders, receivers, delivered) = frame.parts_mut();
-        self.ledger
-            .record_call(senders.keys().iter(), receivers.iter());
+        let (senders, receivers, delivered, feedback) = frame.parts_with_feedback_mut();
+        if let Some(ledger) = &mut self.ledger {
+            ledger.record_call(senders.keys().iter(), receivers.iter());
+        }
+        let cd = self.cd == CollisionDetection::Receiver;
         // Receivers are visited in ascending node order — the frame's
         // iteration order by construction — so the RNG stream maps to
         // receivers deterministically on every run.
@@ -179,9 +148,15 @@ impl LbNetwork for AbstractLbNetwork {
                 count += usize::from(senders.contains(u));
             }
             if count == 0 {
+                if cd {
+                    feedback.insert(r, LbFeedback::Silence);
+                }
                 continue;
             }
             if self.failure_prob > 0.0 && self.rng.gen_bool(self.failure_prob) {
+                if cd {
+                    feedback.insert(r, LbFeedback::Noise);
+                }
                 continue;
             }
             // The specification only promises *some* neighbour's message; we
@@ -192,6 +167,9 @@ impl LbNetwork for AbstractLbNetwork {
                 if senders.contains(u) {
                     if seen == pick {
                         delivered.insert(r, senders.get(u).expect("occupied sender").clone());
+                        if cd {
+                            feedback.insert(r, LbFeedback::Delivered);
+                        }
                         break;
                     }
                     seen += 1;
@@ -201,48 +179,69 @@ impl LbNetwork for AbstractLbNetwork {
     }
 
     fn lb_energy(&self, v: usize) -> u64 {
-        self.ledger.participations(v)
+        self.ledger.as_ref().map_or(0, |l| l.participations(v))
     }
 
     fn lb_time(&self) -> u64 {
-        self.ledger.calls()
+        self.ledger.as_ref().map_or(0, LbLedger::calls)
+    }
+
+    fn energy_view(&self) -> EnergyView {
+        let n = self.num_nodes();
+        EnergyView::lb_only(
+            (0..n).map(|v| self.lb_energy(v)).collect(),
+            (0..n)
+                .map(|v| self.ledger.as_ref().map_or(0, |l| l.sends(v)))
+                .collect(),
+            self.lb_time(),
+        )
     }
 }
 
 /// The physical back-end: every Local-Broadcast call expands into Decay
 /// slots (Lemma 2.4) on the `radio-sim` channel, so collisions and per-slot
-/// energy are fully modelled.
+/// energy are fully modelled. With collision detection enabled, calls run
+/// the CD-aware Decay variant
+/// ([`decay_local_broadcast_cd`]), which uses Silence
+/// feedback to retire hopeless receivers after one iteration and idle
+/// senders after their neighbourhoods resolve — fewer slots and lower
+/// per-node energy on sparse instances, with the per-receiver verdicts
+/// surfaced through the frame's feedback lane.
 #[derive(Clone, Debug)]
 pub struct PhysicalLbNetwork {
     net: RadioNetwork<Msg>,
     global_n: usize,
+    cd: CollisionDetection,
+    model: EnergyModel,
     decay: DecayParams,
-    ledger: LbLedger,
+    ledger: Option<LbLedger>,
     scratch: DecayScratch<Msg>,
     rng: ChaCha8Rng,
 }
 
 impl PhysicalLbNetwork {
-    /// Creates a physical network over `graph`, with Decay parameters
-    /// derived from the graph (Δ = max degree, `f = n^{-3}`), seeded by
-    /// `seed`.
-    pub fn new(graph: Graph, seed: u64) -> Self {
+    pub(crate) fn from_builder(
+        graph: Graph,
+        global_n: usize,
+        cd: CollisionDetection,
+        ledger: bool,
+        model: EnergyModel,
+        decay: Option<DecayParams>,
+        seed: u64,
+    ) -> Self {
         let n = graph.num_nodes();
-        let decay = DecayParams::for_network(n.max(2), graph.max_degree().max(1));
+        let decay =
+            decay.unwrap_or_else(|| DecayParams::for_network(n.max(2), graph.max_degree().max(1)));
         PhysicalLbNetwork {
-            net: RadioNetwork::new(graph),
-            global_n: n.max(2),
+            net: RadioNetwork::new(graph).with_collision_detection(cd),
+            global_n,
+            cd,
+            model,
             decay,
-            ledger: LbLedger::new(n),
+            ledger: ledger.then(|| LbLedger::new(n)),
             scratch: DecayScratch::new(n),
             rng: ChaCha8Rng::seed_from_u64(seed),
         }
-    }
-
-    /// Overrides the Decay parameters.
-    pub fn with_decay_params(mut self, decay: DecayParams) -> Self {
-        self.decay = decay;
-        self
     }
 
     /// The Decay parameters in force.
@@ -255,13 +254,14 @@ impl PhysicalLbNetwork {
         &self.net
     }
 
-    /// Per-node *physical* energy (slots listening or transmitting), as
-    /// opposed to the LB-unit energy of [`LbNetwork::lb_energy`].
+    /// Per-node *physical* energy in raw slots (listening or transmitting),
+    /// as opposed to the LB-unit energy of [`RadioStack::lb_energy`]. For
+    /// model-weighted costs use [`RadioStack::energy_view`].
     pub fn physical_energy(&self, v: usize) -> u64 {
         self.net.energy(v)
     }
 
-    /// Maximum per-node physical energy.
+    /// Maximum per-node physical energy in raw slots.
     pub fn max_physical_energy(&self) -> u64 {
         self.net.max_energy()
     }
@@ -271,13 +271,13 @@ impl PhysicalLbNetwork {
         self.net.slots()
     }
 
-    /// The LB ledger.
-    pub fn ledger(&self) -> &LbLedger {
-        &self.ledger
+    /// The LB ledger, when per-node accounting is enabled.
+    pub fn ledger(&self) -> Option<&LbLedger> {
+        self.ledger.as_ref()
     }
 }
 
-impl LbNetwork for PhysicalLbNetwork {
+impl RadioStack for PhysicalLbNetwork {
     fn num_nodes(&self) -> usize {
         self.net.num_nodes()
     }
@@ -286,40 +286,100 @@ impl LbNetwork for PhysicalLbNetwork {
         self.global_n
     }
 
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            collision_detection: self.cd,
+            energy_model: self.model,
+            physical: true,
+            ledger: self.ledger.is_some(),
+        }
+    }
+
     fn local_broadcast(&mut self, frame: &mut LbFrame) {
-        self.ledger
-            .record_call(frame.senders().keys().iter(), frame.receivers().iter());
-        decay_local_broadcast(
-            &mut self.net,
-            frame,
-            &mut self.scratch,
-            self.decay,
-            &mut self.rng,
-        );
+        if let Some(ledger) = &mut self.ledger {
+            ledger.record_call(frame.senders().keys().iter(), frame.receivers().iter());
+        }
+        match self.cd {
+            CollisionDetection::None => {
+                decay_local_broadcast(
+                    &mut self.net,
+                    frame,
+                    &mut self.scratch,
+                    self.decay,
+                    &mut self.rng,
+                );
+            }
+            CollisionDetection::Receiver => {
+                decay_local_broadcast_cd(
+                    &mut self.net,
+                    frame,
+                    &mut self.scratch,
+                    self.decay,
+                    &mut self.rng,
+                );
+            }
+        }
     }
 
     fn lb_energy(&self, v: usize) -> u64 {
-        self.ledger.participations(v)
+        self.ledger.as_ref().map_or(0, |l| l.participations(v))
     }
 
     fn lb_time(&self) -> u64 {
-        self.ledger.calls()
+        self.ledger.as_ref().map_or(0, LbLedger::calls)
+    }
+
+    fn energy_view(&self) -> EnergyView {
+        let n = self.num_nodes();
+        let meter = self.net.meter();
+        EnergyView::lb_only(
+            (0..n).map(|v| self.lb_energy(v)).collect(),
+            (0..n)
+                .map(|v| self.ledger.as_ref().map_or(0, |l| l.sends(v)))
+                .collect(),
+            self.lb_time(),
+        )
+        .with_physical(
+            meter.listen_counts().to_vec(),
+            meter.transmit_counts().to_vec(),
+            meter.slots(),
+            self.model,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stack::StackBuilder;
     use radio_graph::generators;
 
     fn msg(x: u64) -> Msg {
         Msg::words(&[x])
     }
 
+    fn abstract_stack(g: Graph) -> AbstractLbNetwork {
+        match StackBuilder::new(g).build() {
+            crate::Stack::Abstract(a) => *a,
+            _ => unreachable!(),
+        }
+    }
+
+    fn physical_stack(g: Graph, seed: u64) -> PhysicalLbNetwork {
+        match StackBuilder::new(g)
+            .physical(EnergyModel::Uniform)
+            .with_seed(seed)
+            .build()
+        {
+            crate::Stack::Physical(p) => *p,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn abstract_delivery_follows_spec() {
         let g = generators::path(4); // 0-1-2-3
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = abstract_stack(g);
         let out = local_broadcast_once(&mut net, &[(0, msg(10)), (3, msg(30))], &[1, 2]);
         assert_eq!(out.get(1), Some(&msg(10)));
         assert_eq!(out.get(2), Some(&msg(30)));
@@ -332,7 +392,7 @@ mod tests {
     #[test]
     fn abstract_receiver_without_sending_neighbor_gets_nothing() {
         let g = generators::path(4);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = abstract_stack(g);
         let out = local_broadcast_once(&mut net, &[(0, msg(1))], &[3]);
         assert!(out.is_empty());
         // The hopeless receiver still pays for participating.
@@ -342,7 +402,7 @@ mod tests {
     #[test]
     fn abstract_receiver_with_multiple_senders_hears_one_of_them() {
         let g = generators::star(5);
-        let mut net = AbstractLbNetwork::new(g).with_failures(0.0, 7);
+        let mut net = StackBuilder::new(g).with_seed(7).build();
         let senders: Vec<(usize, Msg)> = (1..5).map(|v| (v, msg(v as u64))).collect();
         let out = local_broadcast_once(&mut net, &senders, &[0]);
         let heard = out.get(0).expect("delivered").word(0);
@@ -352,7 +412,7 @@ mod tests {
     #[test]
     fn abstract_failures_do_fail_sometimes() {
         let g = generators::path(2);
-        let mut net = AbstractLbNetwork::new(g).with_failures(0.5, 3);
+        let mut net = StackBuilder::new(g).with_failures(0.5).with_seed(3).build();
         let mut frame = net.new_frame();
         let mut hits = 0;
         for _ in 0..200 {
@@ -370,16 +430,58 @@ mod tests {
     #[test]
     fn sender_listed_as_receiver_is_ignored_as_receiver() {
         let g = generators::path(3);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = abstract_stack(g);
         let out = local_broadcast_once(&mut net, &[(0, msg(1)), (1, msg(2))], &[1, 2]);
         assert!(!out.contains(1));
         assert_eq!(out.get(2), Some(&msg(2)));
     }
 
     #[test]
+    fn abstract_cd_records_per_receiver_verdicts() {
+        // Path 0-1-2-3, sender 0, receivers {1, 3}: with CD the frame's
+        // feedback lane distinguishes the delivered receiver from the one
+        // with provably no sending neighbour.
+        let g = generators::path(4);
+        let mut net = StackBuilder::new(g).with_cd().build();
+        let mut frame = net.new_frame();
+        frame.add_sender(0, msg(7));
+        frame.add_receiver(1);
+        frame.add_receiver(3);
+        net.local_broadcast(&mut frame);
+        assert_eq!(frame.feedback().get(1), Some(&LbFeedback::Delivered));
+        assert_eq!(frame.feedback().get(3), Some(&LbFeedback::Silence));
+        // Injected failures read as noise: the receiver knows senders exist.
+        let g = generators::path(2);
+        let mut lossy = StackBuilder::new(g)
+            .with_cd()
+            .with_failures(0.999)
+            .with_seed(1)
+            .build();
+        let mut frame = lossy.new_frame();
+        frame.add_sender(0, msg(1));
+        frame.add_receiver(1);
+        lossy.local_broadcast(&mut frame);
+        if !frame.delivered().contains(1) {
+            assert_eq!(frame.feedback().get(1), Some(&LbFeedback::Noise));
+        }
+    }
+
+    #[test]
+    fn no_cd_stacks_leave_the_feedback_lane_empty() {
+        let g = generators::path(4);
+        let mut net = abstract_stack(g);
+        let mut frame = net.new_frame();
+        frame.add_sender(0, msg(7));
+        frame.add_receiver(1);
+        frame.add_receiver(3);
+        net.local_broadcast(&mut frame);
+        assert!(frame.feedback().is_empty());
+    }
+
+    #[test]
     fn physical_backend_delivers_and_charges_slots() {
         let g = generators::path(3);
-        let mut net = PhysicalLbNetwork::new(g, 42);
+        let mut net = physical_stack(g, 42);
         let out = local_broadcast_once(&mut net, &[(0, msg(9))], &[1, 2]);
         assert_eq!(out.get(1), Some(&msg(9)));
         assert_eq!(out.get(2), None);
@@ -392,12 +494,38 @@ mod tests {
     }
 
     #[test]
+    fn physical_cd_backend_saves_energy_on_hopeless_receivers() {
+        // The CD-aware decay resolves a receiver with no sending neighbour
+        // after one iteration instead of the full slot budget.
+        let g = generators::path(4);
+        let run = |cd: bool| -> (u64, u64) {
+            let mut b = StackBuilder::new(g.clone())
+                .physical(EnergyModel::Uniform)
+                .with_seed(11);
+            if cd {
+                b = b.with_cd();
+            }
+            let mut net = b.build();
+            let _ = local_broadcast_once(&mut net, &[(0, msg(9))], &[1, 3]);
+            let view = net.energy_view();
+            (
+                view.physical_energy(3).unwrap(),
+                view.physical_slots().unwrap(),
+            )
+        };
+        let (plain_energy, plain_slots) = run(false);
+        let (cd_energy, cd_slots) = run(true);
+        assert!(cd_energy < plain_energy, "{cd_energy} vs {plain_energy}");
+        assert!(cd_slots < plain_slots, "{cd_slots} vs {plain_slots}");
+    }
+
+    #[test]
     fn physical_and_abstract_agree_on_lb_unit_accounting() {
         let g = generators::grid(3, 3);
         let senders = [(0, msg(1)), (4, msg(2))];
         let receivers = [1, 3, 5, 7];
-        let mut a = AbstractLbNetwork::new(g.clone());
-        let mut p = PhysicalLbNetwork::new(g, 1);
+        let mut a = abstract_stack(g.clone());
+        let mut p = physical_stack(g, 1);
         local_broadcast_once(&mut a, &senders, &receivers);
         local_broadcast_once(&mut p, &senders, &receivers);
         for v in 0..9 {
@@ -411,8 +539,8 @@ mod tests {
         // One frame reused across calls must behave exactly like fresh
         // frames per call (same deliveries, same ledger) on a reliable net.
         let g = generators::grid(4, 4);
-        let mut a = AbstractLbNetwork::new(g.clone());
-        let mut b = AbstractLbNetwork::new(g);
+        let mut a = abstract_stack(g.clone());
+        let mut b = abstract_stack(g);
         let mut reused = a.new_frame();
         for round in 0..8u64 {
             let senders: Vec<(usize, Msg)> = (0..16)

@@ -1,14 +1,14 @@
 //! Leader election.
 //!
 //! The multi-hop diameter algorithms of Section 5.1 cite the `Õ(1)`-energy
-//! leader election of the Broadcast paper [10] as a black box. Reproducing
+//! leader election of the Broadcast paper \[10\] as a black box. Reproducing
 //! that machinery is outside this repository's scope (see DESIGN.md §4);
 //! instead we provide:
 //!
 //! * [`single_hop_leader_election`] — a faithful deterministic election for
 //!   *single-hop* (clique) networks using `O(log N)` energy per device,
 //!   matching the deterministic no-collision-detection bound the paper
-//!   surveys ([22] in its references). Each of the `⌈log₂ N⌉` rounds asks
+//!   surveys (\[22\] in its references). Each of the `⌈log₂ N⌉` rounds asks
 //!   one Local-Broadcast "existence query" about the next bit of the
 //!   smallest surviving identifier.
 //! * [`designated_leader`] — the substitution used by the multi-hop
@@ -17,8 +17,8 @@
 //!   zero energy cost, and the experiments report the `Õ(1)` black-box cost
 //!   as a separate line item.
 
-use crate::lb::LbNetwork;
 use crate::message::Msg;
+use crate::stack::RadioStack;
 
 /// Result of a leader election.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct LeaderResult {
 /// panics if it is not, because the bit-by-bit existence queries are only
 /// sound when every transmission is heard by every listener.
 pub fn single_hop_leader_election(
-    net: &mut dyn LbNetwork,
+    net: &mut dyn RadioStack,
     ids: &[u64],
     id_bound: u64,
 ) -> LeaderResult {
@@ -108,7 +108,7 @@ pub fn single_hop_leader_election(
 /// The multi-hop substitution: node 0 (or any externally distinguished
 /// vertex) is the leader. Costs nothing; the caller is responsible for
 /// reporting the `Õ(1)` energy of the cited black-box election separately.
-pub fn designated_leader(net: &dyn LbNetwork) -> LeaderResult {
+pub fn designated_leader(net: &dyn RadioStack) -> LeaderResult {
     assert!(net.num_nodes() >= 1);
     LeaderResult {
         leader: 0,
@@ -119,7 +119,7 @@ pub fn designated_leader(net: &dyn LbNetwork) -> LeaderResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lb::AbstractLbNetwork;
+    use crate::stack::StackBuilder;
     use radio_graph::generators;
 
     #[test]
@@ -127,7 +127,7 @@ mod tests {
         let n = 16;
         let g = generators::complete(n);
         let ids: Vec<u64> = (0..n as u64).map(|v| (v * 37 + 11) % 256).collect();
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = single_hop_leader_election(&mut net, &ids, 256);
         let min_pos = ids
             .iter()
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn works_with_single_device() {
         let g = generators::complete(1);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = single_hop_leader_election(&mut net, &[3], 8);
         assert_eq!(result.leader, 0);
     }
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn two_devices_elect_the_smaller_id() {
         let g = generators::complete(2);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let result = single_hop_leader_election(&mut net, &[9, 4], 16);
         assert_eq!(result.leader, 1);
     }
@@ -161,7 +161,7 @@ mod tests {
     #[should_panic]
     fn rejects_duplicate_ids() {
         let g = generators::complete(3);
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let _ = single_hop_leader_election(&mut net, &[1, 1, 2], 4);
     }
 
@@ -173,14 +173,14 @@ mod tests {
         // electing the wrong leader.
         let g = generators::path(8);
         let ids: Vec<u64> = (0..8u64).map(|v| 7 - v).collect();
-        let mut net = AbstractLbNetwork::new(g);
+        let mut net = StackBuilder::new(g).build();
         let _ = single_hop_leader_election(&mut net, &ids, 8);
     }
 
     #[test]
     fn designated_leader_is_free() {
         let g = generators::grid(4, 4);
-        let net = AbstractLbNetwork::new(g);
+        let net = StackBuilder::new(g).build();
         let result = designated_leader(&net);
         assert_eq!(result.leader, 0);
         assert_eq!(result.calls, 0);

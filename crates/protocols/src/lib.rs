@@ -3,22 +3,30 @@
 //! The paper analyses all of its algorithms in units of **calls to
 //! Local-Broadcast**: "calling Local-Broadcast takes one unit of time, and
 //! every participating vertex expends one unit of energy" (Section 4.3).
-//! This crate provides that abstraction ([`LbNetwork`]) with two
-//! interchangeable back-ends:
+//! This crate provides that abstraction as the capability-typed
+//! [`RadioStack`] trait (see [`stack`]) with two interchangeable back-ends,
+//! built exclusively through [`StackBuilder`]:
 //!
 //! * [`AbstractLbNetwork`] — one unit of time/energy per participation, the
 //!   exact accounting of Theorem 4.1; optionally injects delivery failures.
 //! * [`PhysicalLbNetwork`] — every call expands into real Decay slots on the
 //!   `radio-sim` channel (Lemma 2.4), so per-slot energy and collisions are
-//!   fully modelled.
+//!   fully modelled; with collision detection enabled it runs the CD-aware
+//!   Decay variant and surfaces per-receiver verdicts through the frame's
+//!   feedback lane.
+//!
+//! Each stack advertises a [`Capabilities`] descriptor (collision
+//! detection, energy model, physical counters, ledger) and snapshots all of
+//! its counters into one [`EnergyView`] — the unified surface that replaced
+//! reading `LbLedger` and `EnergyMeter` separately.
 //!
 //! On top of the abstraction it implements the machinery of Sections 2.2–3:
 //!
 //! * [`clustering`] — the distributed MPX clustering of Lemma 2.5;
 //! * [`cast`] — the Up-cast and Down-cast primitives of Lemma 3.1;
 //! * [`cluster_net`] — the simulation of Local-Broadcast on the cluster
-//!   graph `G*` (Lemma 3.2), itself an [`LbNetwork`], which is what lets the
-//!   recursive BFS of Section 4 call itself on `G*`;
+//!   graph `G*` (Lemma 3.2), itself a [`RadioStack`], which is what lets
+//!   the recursive BFS of Section 4 call itself on `G*`;
 //! * [`aggregate`] / [`broadcast`] / [`leader`] — the Find-Minimum /
 //!   Find-Maximum, layered broadcast, and leader-election subroutines used
 //!   by the diameter algorithms of Section 5.1.
@@ -35,12 +43,14 @@ pub mod lb;
 pub mod leader;
 pub mod ledger;
 pub mod message;
+pub mod stack;
 
 pub use cluster_net::VirtualClusterNet;
 pub use clustering::{cluster_distributed, ClusterState, ClusteringConfig};
-pub use lb::{local_broadcast_once, AbstractLbNetwork, LbFrame, LbNetwork, PhysicalLbNetwork};
+pub use lb::{local_broadcast_once, AbstractLbNetwork, LbFrame, PhysicalLbNetwork};
 pub use ledger::LbLedger;
 pub use message::Msg;
-// Re-exported so protocol callers can build cast/sweep inputs without
-// depending on `radio-sim` directly.
-pub use radio_sim::{NodeSet, NodeSlots};
+pub use stack::{Capabilities, EnergyView, RadioStack, Stack, StackBuilder};
+// Re-exported so protocol callers can build stacks and cast/sweep inputs
+// without depending on `radio-sim` directly.
+pub use radio_sim::{CollisionDetection, EnergyModel, LbFeedback, NodeSet, NodeSlots};

@@ -15,9 +15,10 @@ use rand_chacha::ChaCha8Rng;
 
 use radio_graph::{generators, Graph};
 use radio_protocols::cast::{down_cast, up_cast};
+use radio_protocols::Stack;
 use radio_protocols::{
-    cluster_distributed, local_broadcast_once, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
-    NodeSet, NodeSlots,
+    cluster_distributed, local_broadcast_once, ClusteringConfig, CollisionDetection, EnergyModel,
+    Msg, NodeSet, NodeSlots, RadioStack, StackBuilder,
 };
 
 fn arb_connected_graph() -> impl Strategy<Value = Graph> {
@@ -91,7 +92,7 @@ proptest! {
         let receivers: Vec<usize> = (0..n)
             .filter(|&v| receiver_bits[v % receiver_bits.len()] && !sender_ids.contains(&v))
             .collect();
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let out = local_broadcast_once(&mut net, &senders, &receivers);
         for &r in &receivers {
             let has_sending_neighbor = g.neighbors(r).iter().any(|u| sender_ids.contains(u));
@@ -138,7 +139,7 @@ proptest! {
             .collect();
 
         // Frame engine, seeded.
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+        let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
         let senders: Vec<(usize, Msg)> =
             sender_map.iter().map(|(&v, m)| (v, m.clone())).collect();
         let receivers: Vec<usize> = receiver_set.iter().copied().collect();
@@ -162,7 +163,7 @@ proptest! {
     #[test]
     fn clustering_partitions_any_connected_graph(g in arb_connected_graph(), seed in 0u64..500) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let cfg = ClusteringConfig::new(3);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
         prop_assert!(state.validate().is_ok(), "{:?}", state.validate());
@@ -175,10 +176,100 @@ proptest! {
         prop_assert_eq!(q.num_nodes(), state.num_clusters());
     }
 
+    /// Capability honesty: stacks built without `with_cd()` must report
+    /// `CollisionDetection::None` — on either backend, with or without a
+    /// ledger — and must leave the frame's feedback lane empty after a call.
+    #[test]
+    fn no_cd_stacks_report_no_collision_detection(
+        g in arb_connected_graph(),
+        seed in 0u64..500,
+        physical in any::<bool>(),
+        ledger in any::<bool>(),
+    ) {
+        let mut builder = StackBuilder::new(g.clone()).with_seed(seed);
+        if physical {
+            builder = builder.physical(EnergyModel::Uniform);
+        }
+        if !ledger {
+            builder = builder.without_ledger();
+        }
+        let mut stack = builder.build();
+        let caps = stack.capabilities();
+        prop_assert_eq!(caps.collision_detection, CollisionDetection::None);
+        prop_assert_eq!(caps.physical, physical);
+        prop_assert_eq!(caps.ledger, ledger);
+        let mut frame = stack.new_frame();
+        frame.add_sender(0, Msg::words(&[1]));
+        for v in 1..g.num_nodes().min(4) {
+            frame.add_receiver(v);
+        }
+        stack.local_broadcast(&mut frame);
+        prop_assert!(
+            frame.feedback().is_empty(),
+            "a No-CD stack populated the feedback lane"
+        );
+        // And the CD counterpart reports what it was given.
+        let cd_caps = StackBuilder::new(g).with_cd().build().capabilities();
+        prop_assert_eq!(cd_caps.collision_detection, CollisionDetection::Receiver);
+    }
+
+    /// `EnergyView` snapshots and diffs agree with the legacy per-node
+    /// counters (`lb_energy`, `physical_energy`) on both backends.
+    #[test]
+    fn energy_view_agrees_with_legacy_counters(
+        g in arb_connected_graph(),
+        seed in 0u64..500,
+        physical in any::<bool>(),
+    ) {
+        let n = g.num_nodes();
+        let mut builder = StackBuilder::new(g.clone()).with_seed(seed);
+        if physical {
+            builder = builder.physical(EnergyModel::Uniform);
+        }
+        let mut stack = builder.build();
+        let mut frame = stack.new_frame();
+        let run_round = |stack: &mut dyn RadioStack, frame: &mut radio_protocols::LbFrame, r: usize| {
+            frame.clear();
+            for v in 0..n {
+                if v % 3 == r % 3 {
+                    frame.add_sender(v, Msg::words(&[v as u64]));
+                } else {
+                    frame.add_receiver(v);
+                }
+            }
+            stack.local_broadcast(frame);
+        };
+        run_round(&mut stack, &mut frame, 0);
+        let mid = stack.energy_view();
+        run_round(&mut stack, &mut frame, 1);
+        let total = stack.energy_view();
+        let phase = total.diff(&mid);
+
+        prop_assert_eq!(total.lb_time(), stack.lb_time());
+        prop_assert_eq!(total.max_lb_energy(), stack.max_lb_energy());
+        prop_assert_eq!(mid.lb_time() + phase.lb_time(), total.lb_time());
+        for v in 0..n {
+            prop_assert_eq!(total.lb_energy(v), stack.lb_energy(v), "node {}", v);
+            prop_assert_eq!(
+                mid.lb_energy(v) + phase.lb_energy(v),
+                total.lb_energy(v),
+                "diff broke for node {}", v
+            );
+        }
+        prop_assert_eq!(total.has_physical(), physical);
+        if let Stack::Physical(p) = &stack {
+            for v in 0..n {
+                prop_assert_eq!(total.physical_energy(v), Some(p.physical_energy(v)));
+            }
+            prop_assert_eq!(total.physical_slots(), Some(p.physical_slots()));
+            prop_assert_eq!(total.max_physical_energy(), Some(p.max_physical_energy()));
+        }
+    }
+
     #[test]
     fn down_cast_then_up_cast_roundtrip(g in arb_connected_graph(), seed in 0u64..500) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let cfg = ClusteringConfig::new(3);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
         let mut frame = net.new_frame();

@@ -29,8 +29,8 @@ use radio_graph::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::frame::{RoundFrame, SlotFrame};
-use crate::model::{Feedback, Payload};
+use crate::frame::{NodeSet, RoundFrame, SlotFrame};
+use crate::model::{CollisionDetection, Feedback, LbFeedback, Payload};
 use crate::network::RadioNetwork;
 
 /// Parameters of one Local-Broadcast execution.
@@ -85,6 +85,10 @@ impl DecayParams {
 pub struct DecayScratch<M> {
     slot: SlotFrame<M>,
     choices: Vec<usize>,
+    /// CD variant only: senders that still have unresolved receivers nearby.
+    active_senders: NodeSet,
+    /// CD variant only: receivers that heard non-silence this iteration.
+    heard_activity: NodeSet,
 }
 
 impl<M> DecayScratch<M> {
@@ -93,6 +97,8 @@ impl<M> DecayScratch<M> {
         DecayScratch {
             slot: SlotFrame::new(n),
             choices: Vec::new(),
+            active_senders: NodeSet::new(n),
+            heard_activity: NodeSet::new(n),
         }
     }
 }
@@ -168,6 +174,167 @@ pub fn decay_local_broadcast<M: Payload, R: Rng + ?Sized>(
                     delivered.insert_if_absent(v, m.clone());
                 }
             }
+        }
+    }
+
+    slots_used
+}
+
+/// The collision-detection-aware Local-Broadcast: Decay plus early
+/// termination driven by receiver-side CD.
+///
+/// Requires the network to run with [`CollisionDetection::Receiver`]
+/// (panics otherwise). Two observations turn CD feedback into energy and
+/// time savings without weakening the Lemma 2.4 delivery guarantee:
+///
+/// 1. **Silent iteration ⇒ no sending neighbour.** Every sender transmits
+///    in exactly one slot per iteration, so a receiver that hears
+///    [`Feedback::Silence`] in *every* slot of one full iteration provably
+///    has no active sending neighbour and sleeps for the rest of the call.
+///    (Without CD it cannot distinguish silence from collisions and must
+///    listen through all `O(log Δ · log f⁻¹)` slots.)
+/// 2. **Echo slot ⇒ local sender termination.** Each iteration ends with
+///    one extra slot in which every still-unresolved receiver transmits a
+///    beacon and every active sender listens. A sender that hears silence
+///    has no unresolved receiver left in its neighbourhood — the only
+///    receivers it could ever serve — and retires. Once every sender has
+///    retired the whole call ends. The echo costs each active sender one
+///    listening slot and each unresolved receiver one transmission per
+///    iteration, far below what the saved iterations would have cost.
+///
+/// The two rules interlock soundly: a sender only retires when no
+/// *unresolved* neighbouring receiver remains, so an unresolved receiver
+/// always keeps all of its sending neighbours active, and its silent-
+/// iteration inference (rule 1) never fires spuriously.
+///
+/// Per-receiver verdicts are recorded in the frame's feedback lane:
+/// [`LbFeedback::Delivered`], [`LbFeedback::Silence`] (no sending
+/// neighbour), or [`LbFeedback::Noise`] (activity heard but nothing decoded
+/// by the end of the call). Returns the number of channel slots used.
+pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
+    net: &mut RadioNetwork<M>,
+    frame: &mut RoundFrame<M>,
+    scratch: &mut DecayScratch<M>,
+    params: DecayParams,
+    rng: &mut R,
+) -> u64 {
+    assert_eq!(
+        frame.num_nodes(),
+        net.num_nodes(),
+        "frame universe mismatch"
+    );
+    assert_eq!(
+        net.collision_detection(),
+        CollisionDetection::Receiver,
+        "decay_local_broadcast_cd requires receiver-side collision detection"
+    );
+    let levels = params.slots_per_iteration();
+    let iterations = params.iterations();
+    frame.clear_delivered();
+    let (senders, receivers, delivered, feedback) = frame.parts_with_feedback_mut();
+    let DecayScratch {
+        slot,
+        choices,
+        active_senders,
+        heard_activity,
+    } = scratch;
+    active_senders.clear();
+    active_senders.extend(senders.keys().iter());
+    let mut slots_used = 0u64;
+
+    for _ in 0..iterations {
+        // Stop once every sender has retired AND every receiver is
+        // resolved. A sender-less call with unresolved receivers still runs
+        // one all-silent iteration, so those receivers earn an honest
+        // `Silence` verdict by listening — matching the abstract CD
+        // backend's verdict for the same call — rather than being
+        // misreported as `Noise` by the fallback below.
+        let unresolved = receivers
+            .iter()
+            .any(|v| !feedback.contains(v) && !senders.contains(v));
+        if active_senders.is_empty() && !unresolved {
+            break;
+        }
+        // Active senders draw their slots in ascending node order; the
+        // active set evolves deterministically, so the RNG stream maps to
+        // devices reproducibly.
+        choices.clear();
+        choices.extend(
+            active_senders
+                .iter()
+                .map(|_| sample_decay_slot(levels, rng)),
+        );
+        heard_activity.clear();
+        for s in 1..=levels {
+            slot.clear();
+            for (i, u) in active_senders.iter().enumerate() {
+                if choices[i] == s {
+                    slot.transmit
+                        .insert(u, senders.get(u).expect("occupied sender").clone());
+                }
+            }
+            // A receiver listens while unresolved: neither delivered to nor
+            // concluded silent (the feedback lane doubles as the resolved
+            // set, since every resolution records a verdict).
+            for v in receivers.iter() {
+                if !feedback.contains(v) && !senders.contains(v) {
+                    slot.listen.insert(v);
+                }
+            }
+            net.step_frame(slot);
+            slots_used += 1;
+            for (v, fb) in slot.feedback.iter() {
+                match fb {
+                    Feedback::Received(m) => {
+                        delivered.insert_if_absent(v, m.clone());
+                        feedback.insert(v, LbFeedback::Delivered);
+                        heard_activity.insert(v);
+                    }
+                    Feedback::Noise => {
+                        heard_activity.insert(v);
+                    }
+                    Feedback::Silence | Feedback::Nothing => {}
+                }
+            }
+        }
+        // Rule 1: an unresolved receiver that heard silence in every slot of
+        // this iteration has no active sending neighbour — and since senders
+        // only retire once all their neighbouring receivers are resolved, no
+        // sending neighbour at all.
+        for v in receivers.iter() {
+            if !feedback.contains(v) && !senders.contains(v) && !heard_activity.contains(v) {
+                feedback.insert(v, LbFeedback::Silence);
+            }
+        }
+        // Rule 2 (echo slot): unresolved receivers beacon, active senders
+        // listen; silence retires the sender. With no senders left to
+        // retire the slot would be pure dead air — skip it.
+        if active_senders.is_empty() {
+            continue;
+        }
+        slot.clear();
+        for v in receivers.iter() {
+            if !feedback.contains(v) && !senders.contains(v) {
+                slot.transmit.insert(v, M::default());
+            }
+        }
+        for u in active_senders.iter() {
+            slot.listen.insert(u);
+        }
+        net.step_frame(slot);
+        slots_used += 1;
+        for (u, fb) in slot.feedback.iter() {
+            if matches!(fb, Feedback::Silence) {
+                active_senders.remove(u);
+            }
+        }
+    }
+
+    // Receivers still unresolved after all iterations heard activity they
+    // could never decode (persistent collisions — a 1/poly(n) tail event).
+    for v in receivers.iter() {
+        if !feedback.contains(v) && !senders.contains(v) {
+            feedback.insert(v, LbFeedback::Noise);
         }
     }
 
@@ -326,6 +493,162 @@ mod tests {
         let params = DecayParams::for_network(4, 1);
         let (out, _) = decay_local_broadcast_once(&mut net, &[(0, 5u64)], &[3], params, &mut r);
         assert!(out.is_empty());
+    }
+
+    fn cd_net(g: radio_graph::Graph) -> RadioNetwork<u64> {
+        RadioNetwork::new(g).with_collision_detection(crate::model::CollisionDetection::Receiver)
+    }
+
+    #[test]
+    #[should_panic]
+    fn cd_variant_rejects_networks_without_collision_detection() {
+        let g = generators::path(2);
+        let mut r = rng(1);
+        let mut net: RadioNetwork<u64> = RadioNetwork::new(g);
+        let mut frame = RoundFrame::new(2);
+        let mut scratch = DecayScratch::new(2);
+        frame.add_sender(0, 1u64);
+        frame.add_receiver(1);
+        decay_local_broadcast_cd(
+            &mut net,
+            &mut frame,
+            &mut scratch,
+            DecayParams::for_network(2, 1),
+            &mut r,
+        );
+    }
+
+    #[test]
+    fn cd_variant_delivers_and_records_verdicts() {
+        // Path 0-1-2-3, sender 0, receivers {1, 3}: 1 is delivered to, 3
+        // provably has no sending neighbour.
+        let g = generators::path(4);
+        let mut r = rng(2);
+        let mut net = cd_net(g);
+        let params = DecayParams {
+            max_degree: 2,
+            failure_prob: 1e-6,
+        };
+        let mut frame: RoundFrame<u64> = RoundFrame::new(4);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(4);
+        frame.add_sender(0, 7u64);
+        frame.add_receiver(1);
+        frame.add_receiver(3);
+        decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r);
+        assert_eq!(frame.delivered().get(1), Some(&7));
+        assert_eq!(frame.feedback().get(1), Some(&LbFeedback::Delivered));
+        assert_eq!(frame.delivered().get(3), None);
+        assert_eq!(frame.feedback().get(3), Some(&LbFeedback::Silence));
+    }
+
+    #[test]
+    fn cd_hopeless_receiver_pays_one_iteration_instead_of_all() {
+        // The headline saving: without CD a receiver with no sending
+        // neighbour listens through every slot; with CD it resolves Silence
+        // after one iteration and sleeps.
+        let g = generators::path(4);
+        let params = DecayParams {
+            max_degree: 2,
+            failure_prob: 1e-9,
+        };
+        let mut r1 = rng(3);
+        let mut plain: RadioNetwork<u64> = RadioNetwork::new(g.clone());
+        let (_, plain_slots) =
+            decay_local_broadcast_once(&mut plain, &[(0, 7u64)], &[1, 3], params, &mut r1);
+        let mut r2 = rng(3);
+        let mut cd = cd_net(g);
+        let mut frame: RoundFrame<u64> = RoundFrame::new(4);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(4);
+        frame.add_sender(0, 7u64);
+        frame.add_receiver(1);
+        frame.add_receiver(3);
+        let cd_slots = decay_local_broadcast_cd(&mut cd, &mut frame, &mut scratch, params, &mut r2);
+        assert_eq!(plain.energy(3), params.total_slots() as u64);
+        // One iteration of listening, then provable silence; no echo beacons
+        // (the receiver resolves before the first echo slot).
+        assert_eq!(
+            cd.energy(3),
+            params.slots_per_iteration() as u64,
+            "hopeless receiver should resolve after one iteration"
+        );
+        assert!(cd.energy(3) < plain.energy(3));
+        // Early global termination: the sender retires once receiver 1 is
+        // delivered and receiver 3 has gone silent.
+        assert!(cd_slots < plain_slots, "{cd_slots} vs {plain_slots}");
+        assert!(cd.max_energy() < plain.max_energy());
+    }
+
+    #[test]
+    fn cd_variant_still_delivers_under_contention() {
+        // All leaves of a star send; the hub must still hear one despite
+        // collisions, across seeds — CD must not weaken Lemma 2.4.
+        let n = 65;
+        let g = generators::star(n);
+        let params = DecayParams::for_network(n, n - 1);
+        let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
+        for seed in 0..20 {
+            let mut r = rng(500 + seed);
+            let mut net = cd_net(g.clone());
+            frame.clear();
+            for v in 1..n {
+                frame.add_sender(v, v as u64);
+            }
+            frame.add_receiver(0);
+            decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r);
+            assert!(
+                frame.delivered().contains(0),
+                "CD local broadcast failed under contention (seed {seed})"
+            );
+            assert_eq!(frame.feedback().get(0), Some(&LbFeedback::Delivered));
+        }
+    }
+
+    #[test]
+    fn cd_call_with_no_senders_yields_silence_not_noise() {
+        // Regression: a sender-less call must still run one listening
+        // iteration so receivers earn a provable `Silence` verdict (the
+        // abstract CD backend's verdict for the same call), not the
+        // leftover-`Noise` fallback.
+        let g = generators::path(3);
+        let mut r = rng(12);
+        let mut net = cd_net(g);
+        let params = DecayParams {
+            max_degree: 2,
+            failure_prob: 1e-6,
+        };
+        let mut frame: RoundFrame<u64> = RoundFrame::new(3);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(3);
+        frame.add_receiver(0);
+        frame.add_receiver(2);
+        let slots = decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r);
+        assert!(frame.delivered().is_empty());
+        assert_eq!(frame.feedback().get(0), Some(&LbFeedback::Silence));
+        assert_eq!(frame.feedback().get(2), Some(&LbFeedback::Silence));
+        // Exactly one all-silent iteration of listening, no echo slot.
+        assert_eq!(slots, params.slots_per_iteration() as u64);
+        assert_eq!(net.energy(0), params.slots_per_iteration() as u64);
+        // A call with neither senders nor receivers costs nothing.
+        frame.clear();
+        let slots = decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r);
+        assert_eq!(slots, 0);
+    }
+
+    #[test]
+    fn cd_call_with_no_receivers_terminates_after_one_iteration() {
+        let g = generators::path(3);
+        let mut r = rng(9);
+        let mut net = cd_net(g);
+        let params = DecayParams {
+            max_degree: 2,
+            failure_prob: 1e-9,
+        };
+        let mut frame: RoundFrame<u64> = RoundFrame::new(3);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(3);
+        frame.add_sender(0, 1u64);
+        let slots = decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut r);
+        // One full iteration plus its echo slot, then every sender retires.
+        assert_eq!(slots, params.slots_per_iteration() as u64 + 1);
     }
 
     #[test]

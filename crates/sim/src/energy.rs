@@ -9,6 +9,48 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How listening and transmitting slots convert into energy cost.
+///
+/// The paper's main model charges one unit for either (the default); its
+/// "other energy models" discussion considers radios whose transmissions are
+/// costlier than listening. The meter always tracks the two counters
+/// separately, so the model is applied at read time and one run can be
+/// summarised under any model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnergyModel {
+    /// `listen = transmit = 1` (the paper's default).
+    #[default]
+    Uniform,
+    /// Per-slot integer weights, e.g. `{ listen: 1, transmit: 3 }` for a
+    /// radio whose power amplifier dominates its budget.
+    Weighted {
+        /// Cost of one listening slot.
+        listen: u64,
+        /// Cost of one transmitting slot.
+        transmit: u64,
+    },
+}
+
+impl EnergyModel {
+    /// The cost of `listen_slots` listens plus `transmit_slots` transmits.
+    pub fn cost(&self, listen_slots: u64, transmit_slots: u64) -> u64 {
+        match self {
+            EnergyModel::Uniform => listen_slots + transmit_slots,
+            EnergyModel::Weighted { listen, transmit } => {
+                listen * listen_slots + transmit * transmit_slots
+            }
+        }
+    }
+
+    /// A printable label (used by scenario records and capability tables).
+    pub fn label(&self) -> String {
+        match self {
+            EnergyModel::Uniform => "uniform".into(),
+            EnergyModel::Weighted { listen, transmit } => format!("w{listen}l{transmit}t"),
+        }
+    }
+}
+
 /// Tracks per-device energy and global time.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct EnergyMeter {
@@ -70,6 +112,21 @@ impl EnergyMeter {
     /// Transmitting slots of device `v`.
     pub fn transmit_count(&self, v: usize) -> u64 {
         self.transmit[v]
+    }
+
+    /// Per-device listening slots (indexed by device id).
+    pub fn listen_counts(&self) -> &[u64] {
+        &self.listen
+    }
+
+    /// Per-device transmitting slots (indexed by device id).
+    pub fn transmit_counts(&self) -> &[u64] {
+        &self.transmit
+    }
+
+    /// Energy of device `v` under the given [`EnergyModel`].
+    pub fn energy_under(&self, v: usize, model: EnergyModel) -> u64 {
+        model.cost(self.listen[v], self.transmit[v])
     }
 
     /// Maximum per-device energy — the paper's energy cost of the algorithm.

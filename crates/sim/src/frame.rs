@@ -23,7 +23,7 @@
 //!   and per-listener feedback, used by the columnar
 //!   [`RadioNetwork::step_frame`](crate::network::RadioNetwork::step_frame).
 
-use crate::model::Feedback;
+use crate::model::{Feedback, LbFeedback};
 
 /// A dense set of node identifiers over a fixed universe `0..n`.
 ///
@@ -241,7 +241,7 @@ impl<T> NodeSlots<T> {
 /// senders (each with a message), receivers, and the delivered output.
 ///
 /// The frame is the unit of reuse: allocate it once per network (e.g. via
-/// `LbNetwork::new_frame` in `radio-protocols`), then `clear`/fill/call for
+/// `RadioStack::new_frame` in `radio-protocols`), then `clear`/fill/call for
 /// every round. Backends write deliveries through [`RoundFrame::parts_mut`],
 /// which splits the frame into disjoint input/output borrows.
 #[derive(Clone, Debug)]
@@ -249,6 +249,7 @@ pub struct RoundFrame<M> {
     senders: NodeSlots<M>,
     receivers: NodeSet,
     delivered: NodeSlots<M>,
+    feedback: NodeSlots<LbFeedback>,
 }
 
 impl<M> RoundFrame<M> {
@@ -258,6 +259,7 @@ impl<M> RoundFrame<M> {
             senders: NodeSlots::new(n),
             receivers: NodeSet::new(n),
             delivered: NodeSlots::new(n),
+            feedback: NodeSlots::new(n),
         }
     }
 
@@ -266,11 +268,12 @@ impl<M> RoundFrame<M> {
         self.receivers.universe()
     }
 
-    /// Clears senders, receivers and deliveries for reuse.
+    /// Clears senders, receivers, deliveries and feedback for reuse.
     pub fn clear(&mut self) {
         self.senders.clear();
         self.receivers.clear();
         self.delivered.clear();
+        self.feedback.clear();
     }
 
     /// Registers `v` as a sender holding `m`.
@@ -298,6 +301,14 @@ impl<M> RoundFrame<M> {
         &self.delivered
     }
 
+    /// Per-receiver channel verdicts of the last call, populated only by
+    /// collision-detection-capable backends (empty otherwise). A receiver
+    /// holding [`LbFeedback::Silence`] learned that it has no sending
+    /// neighbour — the signal CD-aware protocols branch on.
+    pub fn feedback(&self) -> &NodeSlots<LbFeedback> {
+        &self.feedback
+    }
+
     /// Splits the frame into `(senders, receivers, delivered)` with the
     /// output mutably borrowed — the shape every backend needs to read the
     /// inputs while recording deliveries.
@@ -305,10 +316,31 @@ impl<M> RoundFrame<M> {
         (&self.senders, &self.receivers, &mut self.delivered)
     }
 
-    /// Clears only the delivery output (backends call this on entry so a
-    /// reused frame never leaks the previous round's deliveries).
+    /// Like [`RoundFrame::parts_mut`], additionally borrowing the feedback
+    /// lane mutably — the shape collision-detection-capable backends need to
+    /// record per-receiver verdicts alongside deliveries.
+    pub fn parts_with_feedback_mut(
+        &mut self,
+    ) -> (
+        &NodeSlots<M>,
+        &NodeSet,
+        &mut NodeSlots<M>,
+        &mut NodeSlots<LbFeedback>,
+    ) {
+        (
+            &self.senders,
+            &self.receivers,
+            &mut self.delivered,
+            &mut self.feedback,
+        )
+    }
+
+    /// Clears only the per-call outputs — deliveries and feedback (backends
+    /// call this on entry so a reused frame never leaks the previous round's
+    /// results).
     pub fn clear_delivered(&mut self) {
         self.delivered.clear();
+        self.feedback.clear();
     }
 
     /// Swaps the delivery arena with `other` (same universe required), e.g.

@@ -28,8 +28,11 @@ pub mod frame;
 pub mod model;
 pub mod network;
 
-pub use decay::{decay_local_broadcast, decay_local_broadcast_once, DecayParams, DecayScratch};
-pub use energy::{EnergyMeter, EnergyReport};
+pub use decay::{
+    decay_local_broadcast, decay_local_broadcast_cd, decay_local_broadcast_once, DecayParams,
+    DecayScratch,
+};
+pub use energy::{EnergyMeter, EnergyModel, EnergyReport};
 pub use frame::{NodeSet, NodeSlots, RoundFrame, SlotFrame};
-pub use model::{Action, CollisionDetection, Feedback, Payload};
+pub use model::{Action, CollisionDetection, Feedback, LbFeedback, Payload};
 pub use network::RadioNetwork;

@@ -112,6 +112,28 @@ impl<M> Feedback<M> {
     }
 }
 
+/// Per-call channel verdict for one receiver of a Local-Broadcast, as
+/// surfaced through the round frame's feedback lane.
+///
+/// Backends without collision detection leave the lane empty (a receiver
+/// learns nothing beyond its `delivered` entry). Collision-detection-capable
+/// backends record, for every receiver, what the channel revealed over the
+/// whole call — which is what lets protocols branch on CD (e.g. a receiver
+/// that observed [`LbFeedback::Silence`] knows it has no sending neighbour
+/// and can skip listening in subsequent calls).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LbFeedback {
+    /// A message was received (it is in the frame's `delivered` arena).
+    Delivered,
+    /// The channel was provably free of sending neighbours: the receiver
+    /// observed silence in every slot of a full decay iteration (physical
+    /// backend), or has no sender in its neighbourhood (abstract backend).
+    Silence,
+    /// Channel activity was detected but no message was decoded (collisions
+    /// throughout, or an injected delivery failure on the abstract backend).
+    Noise,
+}
+
 /// Whether listeners can distinguish silence from collisions.
 ///
 /// The paper's algorithms assume the weakest model (no collision detection);
@@ -126,6 +148,13 @@ pub enum CollisionDetection {
     /// Listeners can distinguish [`Feedback::Silence`] (zero transmitters)
     /// from [`Feedback::Noise`] (two or more).
     Receiver,
+}
+
+impl CollisionDetection {
+    /// Whether receiver-side collision detection is available.
+    pub fn is_receiver(&self) -> bool {
+        matches!(self, CollisionDetection::Receiver)
+    }
 }
 
 /// Per-message bit budget: the `b` of `RN[b]`.

@@ -16,9 +16,7 @@ use rand_chacha::ChaCha8Rng;
 use radio_energy::bfs::metrics::format_table;
 use radio_energy::graph::cluster_graph::{distance_proxy_stats, ClusterGraph};
 use radio_energy::graph::generators;
-use radio_energy::protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork,
-};
+use radio_energy::protocols::{cluster_distributed, ClusteringConfig, RadioStack, StackBuilder};
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -30,7 +28,7 @@ fn main() {
     let mut rows = Vec::new();
     for inv_beta in [2u64, 4, 8, 16] {
         let cfg = ClusteringConfig::new(inv_beta);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
         state
             .validate()

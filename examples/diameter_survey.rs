@@ -16,7 +16,7 @@ use radio_energy::bfs::metrics::format_table;
 use radio_energy::bfs::RecursiveBfsConfig;
 use radio_energy::graph::diameter::{exact_diameter, satisfies_theorem_5_4_bound};
 use radio_energy::graph::{generators, Graph};
-use radio_energy::protocols::AbstractLbNetwork;
+use radio_energy::protocols::StackBuilder;
 
 fn families() -> Vec<(String, Graph)> {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
@@ -50,10 +50,10 @@ fn main() {
     for (name, g) in families() {
         let diam = exact_diameter(&g).expect("families are connected") as u64;
 
-        let mut net2 = AbstractLbNetwork::new(g.clone());
+        let mut net2 = StackBuilder::new(g.clone()).build();
         let est2 = two_approx_diameter(&mut net2, &config);
 
-        let mut net32 = AbstractLbNetwork::new(g.clone());
+        let mut net32 = StackBuilder::new(g.clone()).build();
         let est32 = three_halves_approx_diameter(&mut net32, &config, 77);
 
         rows.push(vec![

@@ -16,7 +16,7 @@ use radio_energy::bfs::metrics::{format_table, EnergySummary};
 use radio_energy::bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_energy::graph::bfs::bfs_distances;
 use radio_energy::graph::generators;
-use radio_energy::protocols::AbstractLbNetwork;
+use radio_energy::protocols::StackBuilder;
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(2020);
@@ -44,7 +44,7 @@ fn main() {
         config.w(graph.num_nodes())
     );
 
-    let mut net = AbstractLbNetwork::new(graph.clone());
+    let mut net = StackBuilder::new(graph.clone()).build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let setup = EnergySummary::of(&net);
     let outcome =
@@ -65,7 +65,7 @@ fn main() {
     );
 
     // Baseline: the trivial always-listening wavefront BFS.
-    let mut baseline_net = AbstractLbNetwork::new(graph.clone());
+    let mut baseline_net = StackBuilder::new(graph.clone()).build();
     let active = vec![true; graph.num_nodes()];
     let _ = trivial_bfs(&mut baseline_net, &[source], &active, depth);
     let baseline = EnergySummary::of(&baseline_net);

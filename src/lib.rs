@@ -35,8 +35,10 @@ pub mod prelude {
         RecursiveBfsConfig,
     };
     pub use radio_graph::{generators, Graph, GraphBuilder};
-    pub use radio_protocols::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
-    pub use radio_sim::{EnergyMeter, RadioNetwork};
+    pub use radio_protocols::{
+        Capabilities, EnergyView, RadioStack, Stack, StackBuilder, VirtualClusterNet,
+    };
+    pub use radio_sim::{CollisionDetection, EnergyMeter, EnergyModel, LbFeedback, RadioNetwork};
 }
 
 #[cfg(test)]
@@ -45,8 +47,9 @@ mod tests {
     fn prelude_re_exports_compile_and_link() {
         use crate::prelude::*;
         let g = generators::path(4);
-        let net = AbstractLbNetwork::new(g);
+        let net = StackBuilder::new(g).build();
         assert_eq!(net.num_nodes(), 4);
+        assert!(!net.capabilities().collision_detection.is_receiver());
         let _ = RecursiveBfsConfig::default();
     }
 }

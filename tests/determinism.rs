@@ -11,7 +11,7 @@
 use radio_energy::bfs::{recursive_bfs, RecursiveBfsConfig};
 use radio_energy::graph::generators;
 use radio_energy::protocols::{
-    cluster_distributed, local_broadcast_once, AbstractLbNetwork, ClusteringConfig, LbNetwork, Msg,
+    cluster_distributed, local_broadcast_once, ClusteringConfig, Msg, RadioStack, StackBuilder,
     VirtualClusterNet,
 };
 use radio_energy::sim::{
@@ -61,7 +61,7 @@ fn decay_local_broadcast_is_seed_deterministic_across_runs() {
 fn virtual_cluster_net_is_seed_deterministic_across_runs() {
     let g = generators::grid(10, 10);
     let run = |seed: u64| -> String {
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+        let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
         let cfg = ClusteringConfig::new(3);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5a5a);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
@@ -86,7 +86,7 @@ fn virtual_cluster_net_is_seed_deterministic_across_runs() {
 fn recursive_bfs_is_seed_deterministic_across_runs() {
     let g = generators::grid(9, 9);
     let run = |seed: u64| -> String {
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.0, seed);
+        let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
         let config = RecursiveBfsConfig {
             inv_beta: 4,
             max_depth: 1,
@@ -107,6 +107,108 @@ fn recursive_bfs_is_seed_deterministic_across_runs() {
             run(seed),
             run(seed),
             "recursive BFS diverged for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn cd_decay_local_broadcast_is_seed_deterministic_across_runs() {
+    // The CD-aware decay path, byte-identical per seed: deliveries, the
+    // per-receiver feedback verdicts, slots used, and the energy report.
+    use radio_energy::sim::{decay_local_broadcast_cd, CollisionDetection};
+    let n = 48;
+    let g = generators::grid(6, 8);
+    let params = DecayParams::for_network(n, g.max_degree());
+    let run = |seed: u64| -> String {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut net: RadioNetwork<u64> =
+            RadioNetwork::new(g.clone()).with_collision_detection(CollisionDetection::Receiver);
+        let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
+        let mut log = String::new();
+        for round in 0..4u64 {
+            frame.clear();
+            for v in 0..n {
+                if (v as u64 + round).is_multiple_of(5) {
+                    frame.add_sender(v, v as u64);
+                } else {
+                    frame.add_receiver(v);
+                }
+            }
+            let slots =
+                decay_local_broadcast_cd(&mut net, &mut frame, &mut scratch, params, &mut rng);
+            let delivered: Vec<(usize, u64)> =
+                frame.delivered().iter().map(|(v, &m)| (v, m)).collect();
+            let verdicts: Vec<(usize, String)> = frame
+                .feedback()
+                .iter()
+                .map(|(v, fb)| (v, format!("{fb:?}")))
+                .collect();
+            log.push_str(&format!(
+                "round {round}: slots {slots} got {delivered:?} verdicts {verdicts:?}\n"
+            ));
+        }
+        log.push_str(&format!("{:?}", net.report()));
+        log
+    };
+    for seed in SEEDS {
+        assert_eq!(run(seed), run(seed), "CD decay diverged for seed {seed}");
+    }
+}
+
+#[test]
+fn physical_cd_stack_is_seed_deterministic_across_runs() {
+    // The same guarantee one layer up: a physical_cd stack driving the
+    // CD-aware decay through the RadioStack surface, including the unified
+    // energy view.
+    use radio_energy::protocols::EnergyModel;
+    let g = generators::grid(5, 5);
+    let run = |seed: u64| -> String {
+        let mut net = StackBuilder::new(g.clone())
+            .physical(EnergyModel::Uniform)
+            .with_cd()
+            .with_seed(seed)
+            .build();
+        let mut frame = net.new_frame();
+        let mut log = String::new();
+        for round in 0..3u64 {
+            frame.clear();
+            for v in 0..25usize {
+                if (v as u64 + round).is_multiple_of(6) {
+                    frame.add_sender(v, Msg::words(&[v as u64]));
+                } else {
+                    frame.add_receiver(v);
+                }
+            }
+            net.local_broadcast(&mut frame);
+            let delivered: Vec<(usize, u64)> = frame
+                .delivered()
+                .iter()
+                .map(|(v, m)| (v, m.word(0)))
+                .collect();
+            let verdicts: Vec<(usize, String)> = frame
+                .feedback()
+                .iter()
+                .map(|(v, fb)| (v, format!("{fb:?}")))
+                .collect();
+            log.push_str(&format!("round {round}: {delivered:?} / {verdicts:?}\n"));
+        }
+        let view = net.energy_view();
+        let energies: Vec<(u64, Option<u64>)> = (0..25)
+            .map(|v| (view.lb_energy(v), view.physical_energy(v)))
+            .collect();
+        log.push_str(&format!(
+            "time {} slots {:?} energy {energies:?}",
+            view.lb_time(),
+            view.physical_slots()
+        ));
+        log
+    };
+    for seed in SEEDS {
+        assert_eq!(
+            run(seed),
+            run(seed),
+            "physical_cd stack diverged for seed {seed}"
         );
     }
 }

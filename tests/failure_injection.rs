@@ -12,7 +12,7 @@ use radio_energy::bfs::{build_hierarchy, recursive_bfs_with_hierarchy, Recursive
 use radio_energy::graph::bfs::bfs_distances;
 use radio_energy::graph::generators;
 use radio_energy::protocols::broadcast::layered_broadcast;
-use radio_energy::protocols::{cluster_distributed, AbstractLbNetwork, ClusteringConfig, Msg};
+use radio_energy::protocols::{cluster_distributed, ClusteringConfig, Msg, StackBuilder};
 
 /// Clustering under 30% message loss still produces a structurally valid
 /// partition (every vertex ends up in a connected cluster with consistent
@@ -21,7 +21,10 @@ use radio_energy::protocols::{cluster_distributed, AbstractLbNetwork, Clustering
 fn clustering_survives_heavy_loss() {
     let g = generators::grid(10, 10);
     for seed in 0..3u64 {
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.3, seed);
+        let mut net = StackBuilder::new(g.clone())
+            .with_failures(0.3)
+            .with_seed(seed)
+            .build();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let state = cluster_distributed(&mut net, &ClusteringConfig::new(4), &mut rng);
         state
@@ -40,7 +43,10 @@ fn broadcast_degrades_gracefully_and_never_corrupts() {
     let labels = bfs_distances(&g, 0);
 
     let coverage = |failure: f64, seed: u64| -> usize {
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(failure, seed);
+        let mut net = StackBuilder::new(g.clone())
+            .with_failures(failure)
+            .with_seed(seed)
+            .build();
         let out = layered_broadcast(&mut net, &labels, &Msg::words(&[7]));
         for m in out.iter().flatten() {
             assert_eq!(m.word(0), 7, "corrupted payload");
@@ -67,7 +73,10 @@ fn lossy_wavefront_never_underestimates_distance() {
     let g = generators::grid(8, 8);
     let truth = bfs_distances(&g, 0);
     for seed in 0..4u64 {
-        let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.25, seed);
+        let mut net = StackBuilder::new(g.clone())
+            .with_failures(0.25)
+            .with_seed(seed)
+            .build();
         let active = vec![true; g.num_nodes()];
         let result = trivial_bfs(&mut net, &[0], &active, 40);
         for v in g.nodes() {
@@ -98,7 +107,10 @@ fn recursive_bfs_with_polynomial_failure_rate_is_still_exact() {
         seed: 77,
         ..Default::default()
     };
-    let mut net = AbstractLbNetwork::new(g.clone()).with_failures(f, 5);
+    let mut net = StackBuilder::new(g.clone())
+        .with_failures(f)
+        .with_seed(5)
+        .build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], 149, &config, &[]);
     for v in g.nodes() {
@@ -121,7 +133,10 @@ fn recursive_bfs_under_heavy_loss_never_lies() {
         seed: 3,
         ..Default::default()
     };
-    let mut net = AbstractLbNetwork::new(g.clone()).with_failures(0.05, 11);
+    let mut net = StackBuilder::new(g.clone())
+        .with_failures(0.05)
+        .with_seed(11)
+        .build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], 30, &config, &[]);
     for v in g.nodes() {

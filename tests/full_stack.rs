@@ -6,7 +6,7 @@ use radio_energy::bfs::baseline::{decay_bfs, trivial_bfs};
 use radio_energy::bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_energy::graph::bfs::bfs_distances;
 use radio_energy::graph::generators;
-use radio_energy::protocols::{AbstractLbNetwork, LbNetwork, PhysicalLbNetwork};
+use radio_energy::protocols::{EnergyModel, RadioStack, StackBuilder};
 
 /// The recursive BFS, run end-to-end on the *physical* backend: every
 /// Local-Broadcast expands into Decay slots with real collisions, and the
@@ -24,7 +24,10 @@ fn recursive_bfs_on_the_physical_simulator_matches_reference() {
         seed: 31,
         ..Default::default()
     };
-    let mut net = PhysicalLbNetwork::new(g.clone(), 12345);
+    let mut net = StackBuilder::new(g.clone())
+        .physical(EnergyModel::Uniform)
+        .with_seed(12345)
+        .build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
 
@@ -36,9 +39,11 @@ fn recursive_bfs_on_the_physical_simulator_matches_reference() {
         );
     }
     // Physical energy is the LB-unit energy blown up by the Lemma 2.4 slot
-    // cost — strictly larger, and time advanced by whole Decay windows.
-    assert!(net.max_physical_energy() > net.max_lb_energy());
-    assert!(net.physical_slots() >= net.lb_time());
+    // cost — strictly larger, and time advanced by whole Decay windows. The
+    // unified view carries both unit systems in one snapshot.
+    let view = net.energy_view();
+    assert!(view.max_physical_energy().unwrap() > view.max_lb_energy());
+    assert!(view.physical_slots().unwrap() >= view.lb_time());
 }
 
 /// The same protocol run on the abstract and on the physical backend charges
@@ -56,11 +61,14 @@ fn lb_unit_accounting_is_backend_independent() {
         ..Default::default()
     };
 
-    let mut abstract_net = AbstractLbNetwork::new(g.clone());
+    let mut abstract_net = StackBuilder::new(g.clone()).build();
     let active = vec![true; g.num_nodes()];
     let _ = trivial_bfs(&mut abstract_net, &[0], &active, 39);
 
-    let mut physical_net = PhysicalLbNetwork::new(g.clone(), 99);
+    let mut physical_net = StackBuilder::new(g.clone())
+        .physical(EnergyModel::Uniform)
+        .with_seed(99)
+        .build();
     let _ = trivial_bfs(&mut physical_net, &[0], &active, 39);
 
     // The trivial wavefront makes exactly the same calls with the same
@@ -76,9 +84,12 @@ fn lb_unit_accounting_is_backend_independent() {
     }
     // Sanity on the recursive configuration too: it must at least build the
     // same-shaped hierarchy on both backends.
-    let mut a2 = AbstractLbNetwork::new(g.clone());
+    let mut a2 = StackBuilder::new(g.clone()).build();
     let ha = build_hierarchy(&mut a2, &config);
-    let mut p2 = PhysicalLbNetwork::new(g, 99);
+    let mut p2 = StackBuilder::new(g)
+        .physical(EnergyModel::Uniform)
+        .with_seed(99)
+        .build();
     let hp = build_hierarchy(&mut p2, &config);
     assert_eq!(ha.len(), hp.len());
 }
@@ -93,7 +104,7 @@ fn baseline_and_recursive_bfs_agree_on_labels() {
     let truth = bfs_distances(&g, 0);
     let depth = *truth.iter().max().unwrap() as u64;
 
-    let mut baseline_net = AbstractLbNetwork::new(g.clone());
+    let mut baseline_net = StackBuilder::new(g.clone()).build();
     let baseline = decay_bfs(&mut baseline_net, 0);
 
     let config = RecursiveBfsConfig {
@@ -103,7 +114,7 @@ fn baseline_and_recursive_bfs_agree_on_labels() {
         seed: 3,
         ..Default::default()
     };
-    let mut recursive_net = AbstractLbNetwork::new(g.clone());
+    let mut recursive_net = StackBuilder::new(g.clone()).build();
     let hierarchy = build_hierarchy(&mut recursive_net, &config);
     let outcome =
         recursive_bfs_with_hierarchy(&mut recursive_net, &hierarchy, &[0], depth, &config, &[]);
@@ -135,7 +146,10 @@ fn physical_run_with_small_world_topology() {
         seed: 21,
         ..Default::default()
     };
-    let mut net = PhysicalLbNetwork::new(g.clone(), 7);
+    let mut net = StackBuilder::new(g.clone())
+        .physical(EnergyModel::Uniform)
+        .with_seed(7)
+        .build();
     let hierarchy = build_hierarchy(&mut net, &config);
     let outcome = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[5], depth, &config, &[]);
     let correct = g

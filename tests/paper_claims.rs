@@ -14,9 +14,7 @@ use radio_energy::graph::cluster_graph::{distance_proxy_stats, lemma_2_1_bound, 
 use radio_energy::graph::diameter::{exact_diameter, satisfies_theorem_5_4_bound};
 use radio_energy::graph::generators;
 use radio_energy::graph::lower_bound::build_disjointness_graph;
-use radio_energy::protocols::{
-    cluster_distributed, AbstractLbNetwork, ClusteringConfig, LbNetwork,
-};
+use radio_energy::protocols::{cluster_distributed, ClusteringConfig, RadioStack, StackBuilder};
 
 /// Lemma 2.2, with the clustering produced by the *distributed* protocol:
 /// cluster-graph distances stay inside the paper's interval for every
@@ -29,7 +27,7 @@ fn lemma_2_2_holds_for_distributed_clusterings() {
     for trial in 0..4u64 {
         let g = generators::connected_gnp(150, 0.04, 300, &mut rng).expect("connected sample");
         let cfg = ClusteringConfig::new(4);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let mut crng = ChaCha8Rng::seed_from_u64(100 + trial);
         let state = cluster_distributed(&mut net, &cfg, &mut crng);
         let cg = ClusterGraph::build(&g, state.to_graph_clustering());
@@ -61,7 +59,7 @@ fn lemma_2_1_tail_is_respected_by_distributed_clusterings() {
     assert!(lemma_2_1_bound(cfg.beta, ell as f64, j as u32) < 2e-3);
     let mut exceed = 0usize;
     for trial in 0..10u64 {
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let mut rng = ChaCha8Rng::seed_from_u64(trial);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
         let clustering = state.to_graph_clustering();
@@ -90,7 +88,7 @@ fn diameter_guarantees_on_random_graphs() {
         let g = generators::connected_gnp(70, 0.07, 300, &mut rng).expect("connected sample");
         let diam = exact_diameter(&g).unwrap();
 
-        let mut net2 = AbstractLbNetwork::new(g.clone());
+        let mut net2 = StackBuilder::new(g.clone()).build();
         let est2 = two_approx_diameter(&mut net2, &config);
         assert!(est2.estimate <= diam as u64);
         assert!(
@@ -98,7 +96,7 @@ fn diameter_guarantees_on_random_graphs() {
             "trial {trial}: 2-approx too small"
         );
 
-        let mut net32 = AbstractLbNetwork::new(g.clone());
+        let mut net32 = StackBuilder::new(g.clone()).build();
         let est32 = three_halves_approx_diameter(&mut net32, &config, 55 + trial);
         assert!(
             satisfies_theorem_5_4_bound(diam, est32.estimate as u32),
@@ -178,7 +176,7 @@ fn clustering_energy_budget_lemma_2_5() {
     ];
     for g in graphs {
         let cfg = ClusteringConfig::new(6);
-        let mut net = AbstractLbNetwork::new(g.clone());
+        let mut net = StackBuilder::new(g.clone()).build();
         let mut rng = ChaCha8Rng::seed_from_u64(g.num_nodes() as u64);
         let state = cluster_distributed(&mut net, &cfg, &mut rng);
         state.validate().unwrap();
