@@ -6,7 +6,13 @@
 //! ```text
 //! cargo run -p radio-bench --release --bin experiments -- all
 //! cargo run -p radio-bench --release --bin experiments -- e6 e12
+//! cargo run -p radio-bench --release --bin experiments -- scenarios --threads 4
 //! ```
+//!
+//! `scenarios` accepts `--threads N` (worker threads for the scenario
+//! runner; default = available parallelism, `1` = the exact serial path)
+//! and `--quiet` (suppress per-scenario progress lines on stderr). The
+//! emitted records and JSON are byte-identical for every thread count.
 
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
@@ -32,9 +38,29 @@ use radio_sim::DecayParams;
 use rand::Rng;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
-    let wants = |id: &str| run_all || args.iter().any(|a| a == id);
+    // Split flags (`--threads N`, `--threads=N`, `--quiet`) from experiment
+    // ids first, so that e.g. `-- scenarios --threads 4` does not read the
+    // flag as an unknown id and fall back to running everything.
+    let raw: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut runner = radio_bench::scenarios::RunnerConfig::default();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--quiet" {
+            runner.quiet = true;
+        } else if arg == "--threads" {
+            let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+            runner.threads = parse_threads(&v);
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            runner.threads = parse_threads(v);
+        } else if arg.starts_with("--") {
+            die(&format!("unknown flag {arg}"));
+        } else {
+            ids.push(arg);
+        }
+    }
+    let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
+    let wants = |id: &str| run_all || ids.iter().any(|a| a == id);
 
     if wants("e1") {
         e1_ball_intersections();
@@ -79,20 +105,44 @@ fn main() {
         e14_polling_tradeoff();
     }
     if wants("scenarios") {
-        scenario_sweeps();
+        scenario_sweeps(&runner);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("experiments: {msg}");
+    std::process::exit(2)
+}
+
+fn parse_threads(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) => n.max(1),
+        Err(_) => die(&format!("--threads needs an integer, got {v:?}")),
     }
 }
 
 /// Batched multi-seed scenario sweeps over the frame engine (grid/tree/
-/// cluster/contention workloads at sizes E1–E14 do not cover). Set
-/// `SCENARIO_JSON=<path>` to also write the per-seed records as JSON.
-fn scenario_sweeps() {
-    use radio_bench::scenarios::{default_scenarios, records_to_json, run_scenarios};
+/// cluster/contention workloads at sizes E1–E14 do not cover), executed on
+/// the worker pool. Set `SCENARIO_JSON=<path>` to also write the per-seed
+/// records as JSON — byte-identical for every `--threads` value.
+fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig) {
+    use radio_bench::scenarios::{default_scenarios, records_to_json, run_scenarios_with};
     header(
         "SCENARIOS",
-        "batched multi-seed sweeps (6 seeds per family/size)",
+        "batched multi-seed sweeps (6-32 seeds per family/size)",
     );
-    let records = run_scenarios(&default_scenarios());
+    let started = std::time::Instant::now();
+    let records = run_scenarios_with(&default_scenarios(), runner);
+    // Wall-clock goes to stderr only: the table and the JSON must stay
+    // byte-identical across runs and thread counts.
+    if !runner.quiet {
+        eprintln!(
+            "[scenarios] {} records in {:.0?} (threads={})",
+            records.len(),
+            started.elapsed(),
+            runner.threads
+        );
+    }
     let mut rows = Vec::new();
     for r in &records {
         rows.push(vec![
@@ -102,6 +152,7 @@ fn scenario_sweeps() {
             r.seed.to_string(),
             r.protocol.clone(),
             r.backend.clone(),
+            r.energy_model.clone(),
             r.lb_calls.to_string(),
             r.max_lb_energy.to_string(),
             format!("{:.1}", r.mean_lb_energy),
@@ -122,6 +173,7 @@ fn scenario_sweeps() {
                 "seed",
                 "protocol",
                 "backend",
+                "model",
                 "LB calls",
                 "max energy",
                 "mean energy",

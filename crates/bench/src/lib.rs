@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod scenarios;
 
 use energy_bfs::RecursiveBfsConfig;

@@ -19,6 +19,16 @@
 //! fields, so a sweep is byte-for-byte reproducible: same scenarios + same
 //! seeds ⇒ identical JSON. That property is what lets sweeps be diffed
 //! across commits the way `BENCH_*.json` files are.
+//!
+//! Seeds within a scenario are independent — each (size, seed) cell builds
+//! its own seeded stack and draws from its own seeded RNG — so the runner
+//! executes cells on a [`crate::pool`] worker pool: work items go out
+//! through a shared atomic cursor, every worker owns one reusable frame,
+//! and results are collected **by index, not completion order**. The
+//! byte-identical-JSON contract therefore holds for *every* thread count;
+//! [`RunnerConfig::threads`]` = 1` is the exact serial path. The
+//! conformance tests in `tests/determinism.rs` and the property tests in
+//! `crates/bench/tests/properties.rs` pin parallel output to serial output.
 
 use energy_bfs::baseline::trivial_bfs_with_frame;
 use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
@@ -158,23 +168,37 @@ pub enum StackSpec {
     Abstract,
     /// The slot-accurate Decay-expanding backend; with `cd` the stack runs
     /// the CD-aware Decay variant and records fewer slots on sparse
-    /// neighbourhoods.
+    /// neighbourhoods. `model` weights the slot-level counters (the paper's
+    /// "other energy models" discussion): under
+    /// [`EnergyModel::Weighted`] the record's physical-energy column
+    /// charges listens and transmits at their configured rates.
     Physical {
         /// Enable receiver-side collision detection.
         cd: bool,
+        /// How listening/transmitting slots convert into energy.
+        model: EnergyModel,
     },
 }
 
 impl StackSpec {
-    /// Builds the stack for one seeded run. The record's backend label is
-    /// read back from the built stack's `Capabilities::label`, so the JSON
-    /// column can never drift from what the stack actually is.
+    /// The slot-accurate physical backend under the paper's uniform model.
+    pub fn physical(cd: bool) -> Self {
+        StackSpec::Physical {
+            cd,
+            model: EnergyModel::Uniform,
+        }
+    }
+
+    /// Builds the stack for one seeded run. The record's backend and
+    /// energy-model labels are read back from the built stack's
+    /// `Capabilities`, so the JSON columns can never drift from what the
+    /// stack actually is.
     pub fn build(&self, graph: Graph, seed: u64) -> Stack {
         let builder = StackBuilder::new(graph).with_seed(seed);
         match self {
             StackSpec::Abstract => builder.build(),
-            StackSpec::Physical { cd } => {
-                let builder = builder.physical(EnergyModel::Uniform);
+            StackSpec::Physical { cd, model } => {
+                let builder = builder.physical(*model);
                 if *cd {
                     builder.with_cd().build()
                 } else {
@@ -254,6 +278,10 @@ pub struct ScenarioRecord {
     pub protocol: String,
     /// Backend label (`abstract`, `physical`, `physical_cd`).
     pub backend: String,
+    /// Energy-model label (`uniform`, or e.g. `w1l4t` for
+    /// `Weighted { listen: 1, transmit: 4 }`), read back from the stack's
+    /// capabilities.
+    pub energy_model: String,
     /// Local-Broadcast calls (time in LB units).
     pub lb_calls: u64,
     /// Maximum per-node LB participations (the paper's energy measure).
@@ -270,87 +298,200 @@ pub struct ScenarioRecord {
     pub outcome: u64,
 }
 
-/// Runs one scenario, reusing a single frame allocation across all seeds of
-/// each size.
-pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioRecord> {
-    let mut records = Vec::new();
-    for &size in &scenario.sizes {
-        let g = scenario.family.build(size);
-        let n = g.num_nodes();
-        // One frame per size, shared by every seeded run below.
-        let mut frame = radio_protocols::LbFrame::new(n);
-        for &seed in &scenario.seeds {
-            let mut net = scenario.stack.build(g.clone(), seed);
-            let outcome = match &scenario.protocol {
-                Protocol::TrivialBfs => {
-                    let active = vec![true; n];
-                    let result =
-                        trivial_bfs_with_frame(&mut net, &[0], &active, n as u64, &mut frame);
-                    result.dist.iter().filter(|d| d.is_some()).count() as u64
-                }
-                Protocol::RecursiveBfs => {
-                    let depth = (n - 1) as u64;
-                    let config = scaling_config_for(depth, seed);
-                    let hierarchy = build_hierarchy(&mut net, &config);
-                    let result = recursive_bfs_with_hierarchy(
-                        &mut net,
-                        &hierarchy,
-                        &[0],
-                        depth,
-                        &config,
-                        &[],
-                    );
-                    result.dist.iter().filter(|d| d.is_some()).count() as u64
-                }
-                Protocol::Clustering { inv_beta } => {
-                    let cfg = ClusteringConfig::new(*inv_beta);
-                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                    let state = cluster_distributed(&mut net, &cfg, &mut rng);
-                    state.num_clusters() as u64
-                }
-                Protocol::LbSweep { rounds } => {
-                    let mut delivered = 0u64;
-                    for r in 0..*rounds {
-                        frame.clear();
-                        let src = (r as usize) % n;
-                        frame.add_sender(src, Msg::words(&[r]));
-                        for v in 0..n {
-                            if v != src {
-                                frame.add_receiver(v);
-                            }
-                        }
-                        net.local_broadcast(&mut frame);
-                        delivered += frame.delivered().len() as u64;
-                    }
-                    delivered
-                }
-            };
-            let view = net.energy_view();
-            records.push(ScenarioRecord {
-                scenario: scenario.name.clone(),
-                family: scenario.family.label(),
-                n,
-                seed,
-                protocol: scenario.protocol.label(),
-                backend: net.capabilities().label(),
-                lb_calls: view.lb_time(),
-                max_lb_energy: view.max_lb_energy(),
-                mean_lb_energy: view.mean_lb_energy(),
-                max_physical_energy: view.max_physical_energy(),
-                physical_slots: view.physical_slots(),
-                outcome,
-            });
+/// Execution knobs of the scenario runner: thread count and progress
+/// verbosity. The *output* (the record vector, and hence the JSON) is
+/// identical for every configuration — only wall-clock and stderr differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker threads for the (size, seed) cells of each scenario.
+    /// `1` is the exact serial path (no pool machinery); `0` is treated
+    /// as 1. The default is the machine's available parallelism.
+    pub threads: usize,
+    /// Suppress the per-scenario completion lines on stderr. Progress is on
+    /// by default so a hung sweep's log shows where it stopped.
+    pub quiet: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            threads: crate::pool::available_threads(),
+            quiet: false,
         }
+    }
+}
+
+impl RunnerConfig {
+    /// The exact serial path with progress suppressed — what the plain
+    /// [`run_scenario`]/[`run_scenarios`] entry points use, and the
+    /// reference configuration the conformance tests compare against.
+    pub fn serial() -> Self {
+        RunnerConfig {
+            threads: 1,
+            quiet: true,
+        }
+    }
+
+    /// `threads` workers, progress suppressed (the shape tests want).
+    pub fn with_threads(threads: usize) -> Self {
+        RunnerConfig {
+            threads,
+            quiet: true,
+        }
+    }
+}
+
+/// Per-worker scratch: one reusable [`radio_protocols::LbFrame`], re-sized only when a
+/// worker crosses into a size with a different node universe. This carries
+/// the frame-reuse discipline (one allocation amortized over many cells)
+/// into the pool, where each worker owns its own frame.
+struct WorkerScratch {
+    frame: Option<radio_protocols::LbFrame>,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch { frame: None }
+    }
+
+    fn frame_for(&mut self, n: usize) -> &mut radio_protocols::LbFrame {
+        if self.frame.as_ref().is_none_or(|f| f.num_nodes() != n) {
+            self.frame = Some(radio_protocols::LbFrame::new(n));
+        }
+        self.frame.as_mut().expect("frame just ensured")
+    }
+}
+
+/// Runs one (size, seed) cell: builds the seeded stack, executes the
+/// protocol, and reads the record off the energy view. Cells are pure in
+/// the index — everything seeded is derived from `seed`, and the frame is
+/// cleared before every use — which is what makes parallel execution
+/// record-identical to serial.
+fn run_cell(
+    scenario: &Scenario,
+    g: &Graph,
+    n: usize,
+    seed: u64,
+    frame: &mut radio_protocols::LbFrame,
+) -> ScenarioRecord {
+    let mut net = scenario.stack.build(g.clone(), seed);
+    let outcome = match &scenario.protocol {
+        Protocol::TrivialBfs => {
+            let active = vec![true; n];
+            let result = trivial_bfs_with_frame(&mut net, &[0], &active, n as u64, frame);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        Protocol::RecursiveBfs => {
+            let depth = (n - 1) as u64;
+            let config = scaling_config_for(depth, seed);
+            let hierarchy = build_hierarchy(&mut net, &config);
+            let result =
+                recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        Protocol::Clustering { inv_beta } => {
+            let cfg = ClusteringConfig::new(*inv_beta);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let state = cluster_distributed(&mut net, &cfg, &mut rng);
+            state.num_clusters() as u64
+        }
+        Protocol::LbSweep { rounds } => {
+            let mut delivered = 0u64;
+            for r in 0..*rounds {
+                frame.clear();
+                let src = (r as usize) % n;
+                frame.add_sender(src, Msg::words(&[r]));
+                for v in 0..n {
+                    if v != src {
+                        frame.add_receiver(v);
+                    }
+                }
+                net.local_broadcast(frame);
+                delivered += frame.delivered().len() as u64;
+            }
+            delivered
+        }
+    };
+    let caps = net.capabilities();
+    let view = net.energy_view();
+    ScenarioRecord {
+        scenario: scenario.name.clone(),
+        family: scenario.family.label(),
+        n,
+        seed,
+        protocol: scenario.protocol.label(),
+        backend: caps.label(),
+        energy_model: caps.energy_model.label(),
+        lb_calls: view.lb_time(),
+        max_lb_energy: view.max_lb_energy(),
+        mean_lb_energy: view.mean_lb_energy(),
+        max_physical_energy: view.max_physical_energy(),
+        physical_slots: view.physical_slots(),
+        outcome,
+    }
+}
+
+/// Runs one scenario under `config`: graphs are built once per size, then
+/// the `sizes × seeds` cells are distributed over the worker pool and the
+/// records collected in cell order (size-major, seed-minor — the serial
+/// order). Every worker owns one reusable frame.
+pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<ScenarioRecord> {
+    // Graph construction is deterministic and cheap next to protocol
+    // execution, so sizes are materialized up front on the caller's thread
+    // and shared immutably with the workers.
+    let graphs: Vec<(Graph, usize)> = scenario
+        .sizes
+        .iter()
+        .map(|&size| {
+            let g = scenario.family.build(size);
+            let n = g.num_nodes();
+            (g, n)
+        })
+        .collect();
+    let seeds = &scenario.seeds;
+    if seeds.is_empty() || graphs.is_empty() {
+        return Vec::new();
+    }
+    let cells = graphs.len() * seeds.len();
+    crate::pool::run_indexed(cells, config.threads, WorkerScratch::new, |scratch, i| {
+        let (g, n) = &graphs[i / seeds.len()];
+        let seed = seeds[i % seeds.len()];
+        run_cell(scenario, g, *n, seed, scratch.frame_for(*n))
+    })
+}
+
+/// Runs a batch of scenarios back to back under `config`. Scenarios run in
+/// list order (each internally parallel over its cells), so the record
+/// stream is grouped by scenario exactly as in a serial run; unless
+/// `config.quiet`, a completion line per scenario goes to stderr so long
+/// sweeps show progress — and a hung sweep's log shows where it stopped.
+pub fn run_scenarios_with(scenarios: &[Scenario], config: &RunnerConfig) -> Vec<ScenarioRecord> {
+    let mut records = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let recs = run_scenario_with(s, config);
+        if !config.quiet {
+            eprintln!(
+                "[scenarios] {}/{} {}: {} records",
+                i + 1,
+                scenarios.len(),
+                s.name,
+                recs.len()
+            );
+        }
+        records.extend(recs);
     }
     records
 }
 
-/// Runs a batch of scenarios back to back.
+/// Runs one scenario on the exact serial path (one thread, one frame
+/// reused across every cell, no progress output).
+pub fn run_scenario(scenario: &Scenario) -> Vec<ScenarioRecord> {
+    run_scenario_with(scenario, &RunnerConfig::serial())
+}
+
+/// Runs a batch of scenarios back to back on the exact serial path.
 pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioRecord> {
-    scenarios
-        .iter()
-        .flat_map(|s| run_scenario(s).into_iter())
-        .collect()
+    run_scenarios_with(scenarios, &RunnerConfig::serial())
 }
 
 fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
@@ -367,11 +508,19 @@ fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
 }
 
 /// The default sweep wired into `experiments -- scenarios`: the PR-2 era
-/// grid/tree/cluster/contention workloads, the Theorem 5.1/5.2 hardness
-/// families, a physical-backend sweep, and the CD-vs-No-CD Local-Broadcast
-/// comparison, six seeds each.
+/// grid/tree/cluster/contention workloads at six seeds, plus 32-seed
+/// statistical sweeps of the clustering, hardness (Theorems 5.1/5.2), and
+/// Decay Local-Broadcast families — the regime where per-seed noise
+/// averages out — and a `Weighted` energy-model dimension on the physical
+/// backends (the paper's "other energy models" discussion: a radio whose
+/// transmissions cost 4x a listen).
 pub fn default_scenarios() -> Vec<Scenario> {
     let seeds: Vec<u64> = (0..6).collect();
+    let seeds32: Vec<u64> = (0..32).collect();
+    let transmit_heavy = EnergyModel::Weighted {
+        listen: 1,
+        transmit: 4,
+    };
     let mut out = vec![
         Scenario {
             name: "grid32-trivial".into(),
@@ -397,11 +546,13 @@ pub fn default_scenarios() -> Vec<Scenario> {
             protocol: Protocol::RecursiveBfs,
             stack: StackSpec::Abstract,
         },
+        // 32-seed clustering sweep: cluster counts vary per seed, so this
+        // family is the one that actually needs statistical depth.
         Scenario {
             name: "grid32-clustering".into(),
             family: Family::Grid,
             sizes: vec![1024],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::Clustering { inv_beta: 4 },
             stack: StackSpec::Abstract,
         },
@@ -413,13 +564,14 @@ pub fn default_scenarios() -> Vec<Scenario> {
             protocol: Protocol::TrivialBfs,
             stack: StackSpec::Abstract,
         },
-        // Hardness families (Theorems 5.1 and 5.2): the K_n / K_n − e pair
-        // under maximum contention, and both disjointness diameters.
+        // Hardness families (Theorems 5.1 and 5.2) at 32 seeds: the
+        // K_n / K_n − e pair under maximum contention, and both
+        // disjointness diameters.
         Scenario {
             name: "kn-trivial".into(),
             family: Family::Complete,
             sizes: vec![192],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::TrivialBfs,
             stack: StackSpec::Abstract,
         },
@@ -427,7 +579,7 @@ pub fn default_scenarios() -> Vec<Scenario> {
             name: "kn-minus-e-trivial".into(),
             family: Family::CompleteMinusEdge,
             sizes: vec![192],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::TrivialBfs,
             stack: StackSpec::Abstract,
         },
@@ -437,7 +589,7 @@ pub fn default_scenarios() -> Vec<Scenario> {
                 intersecting: false,
             },
             sizes: vec![300],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::TrivialBfs,
             stack: StackSpec::Abstract,
         },
@@ -445,34 +597,61 @@ pub fn default_scenarios() -> Vec<Scenario> {
             name: "disjointness-overlap".into(),
             family: Family::Disjointness { intersecting: true },
             sizes: vec![300],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::TrivialBfs,
             stack: StackSpec::Abstract,
         },
         // The physical backend as a scenario dimension: the same trivial
-        // BFS, now paying real Decay slots.
+        // BFS, now paying real Decay slots — once under the paper's uniform
+        // model, once on a transmit-heavy radio (identical slot counts, so
+        // diffing the two isolates the pure weighting effect).
         Scenario {
             name: "grid16-trivial-physical".into(),
             family: Family::Grid,
             sizes: vec![256],
             seeds: seeds.clone(),
             protocol: Protocol::TrivialBfs,
-            stack: StackSpec::Physical { cd: false },
+            stack: StackSpec::physical(false),
+        },
+        Scenario {
+            name: "grid16-trivial-weighted".into(),
+            family: Family::Grid,
+            sizes: vec![256],
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Physical {
+                cd: false,
+                model: transmit_heavy,
+            },
         },
     ];
-    // The CD comparison family: identical sweeps on the physical backend
-    // with and without receiver-side collision detection; diff the
-    // max_physical_energy / physical_slots columns.
+    // The CD comparison family at 32 seeds: identical Decay sweeps on the
+    // physical backend with and without receiver-side collision detection;
+    // diff the max_physical_energy / physical_slots columns.
     for cd in [false, true] {
         out.push(Scenario {
             name: format!("path-lbsweep-{}", if cd { "cd" } else { "nocd" }),
             family: Family::Path,
             sizes: vec![256],
-            seeds: seeds.clone(),
+            seeds: seeds32.clone(),
             protocol: Protocol::LbSweep { rounds: 16 },
-            stack: StackSpec::Physical { cd },
+            stack: StackSpec::physical(cd),
         });
     }
+    // The weighted model on the CD-aware decay: transmit-heavy radios make
+    // the echo-slot sender retirement *more* valuable, since every retired
+    // sender skips 4-unit transmit slots.
+    out.push(Scenario {
+        name: "path-lbsweep-cd-weighted".into(),
+        family: Family::Path,
+        sizes: vec![256],
+        seeds: seeds32,
+        protocol: Protocol::LbSweep { rounds: 16 },
+        stack: StackSpec::Physical {
+            cd: true,
+            model: transmit_heavy,
+        },
+    });
     out
 }
 
@@ -506,7 +685,8 @@ pub fn records_to_json(records: &[ScenarioRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
-             \"protocol\":\"{}\",\"backend\":\"{}\",\"lb_calls\":{},\"max_lb_energy\":{},\
+             \"protocol\":\"{}\",\"backend\":\"{}\",\"energy_model\":\"{}\",\
+             \"lb_calls\":{},\"max_lb_energy\":{},\
              \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
              \"outcome\":{}}}{}\n",
             json_escape(&r.scenario),
@@ -515,6 +695,7 @@ pub fn records_to_json(records: &[ScenarioRecord]) -> String {
             r.seed,
             json_escape(&r.protocol),
             json_escape(&r.backend),
+            json_escape(&r.energy_model),
             r.lb_calls,
             r.max_lb_energy,
             r.mean_lb_energy,
@@ -571,6 +752,7 @@ mod tests {
             seed: 0,
             protocol: "trivial_bfs".into(),
             backend: "abstract".into(),
+            energy_model: "uniform".into(),
             lb_calls: 1,
             max_lb_energy: 1,
             mean_lb_energy: 1.0,
@@ -684,10 +866,11 @@ mod tests {
             sizes: vec![36],
             seeds: (0..2).collect(),
             protocol: Protocol::TrivialBfs,
-            stack: StackSpec::Physical { cd: false },
+            stack: StackSpec::physical(false),
         });
         for r in &records {
             assert_eq!(r.backend, "physical");
+            assert_eq!(r.energy_model, "uniform");
             assert_eq!(r.outcome, r.n as u64, "physical BFS mislabelled");
             let phys = r.max_physical_energy.expect("slot column");
             assert!(
@@ -695,6 +878,68 @@ mod tests {
                 "Decay expansion must cost more slots than LB units"
             );
             assert!(r.physical_slots.unwrap() >= r.lb_calls);
+        }
+    }
+
+    #[test]
+    fn parallel_runs_match_the_serial_path_record_for_record() {
+        // The collect-by-index contract: every thread count yields the
+        // exact serial record vector, including multi-size scenarios where
+        // workers cross frame universes.
+        let sweep = Scenario {
+            name: "par".into(),
+            family: Family::Grid,
+            sizes: vec![36, 64],
+            seeds: (0..7).collect(),
+            protocol: Protocol::Clustering { inv_beta: 3 },
+            stack: StackSpec::Abstract,
+        };
+        let serial = run_scenario(&sweep);
+        assert_eq!(serial.len(), 14);
+        for threads in [2usize, 3, 8] {
+            let parallel = run_scenario_with(&sweep, &RunnerConfig::with_threads(threads));
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn runner_config_default_uses_available_parallelism() {
+        let cfg = RunnerConfig::default();
+        assert!(cfg.threads >= 1);
+        assert!(!cfg.quiet);
+        assert_eq!(RunnerConfig::serial().threads, 1);
+    }
+
+    #[test]
+    fn weighted_stack_dimension_reweights_without_changing_slots() {
+        // Same seeds, same protocol, same backend — only the energy model
+        // differs. Slot *counts* are untouched (the model is applied at
+        // read time), so physical_slots agree while the weighted energy
+        // column grows.
+        let sweep = |model: EnergyModel| {
+            run_scenario(&Scenario {
+                name: "w".into(),
+                family: Family::Path,
+                sizes: vec![48],
+                seeds: (0..3).collect(),
+                protocol: Protocol::LbSweep { rounds: 4 },
+                stack: StackSpec::Physical { cd: false, model },
+            })
+        };
+        let uniform = sweep(EnergyModel::Uniform);
+        let weighted = sweep(EnergyModel::Weighted {
+            listen: 1,
+            transmit: 4,
+        });
+        for (u, w) in uniform.iter().zip(&weighted) {
+            assert_eq!(u.energy_model, "uniform");
+            assert_eq!(w.energy_model, "w1l4t");
+            assert_eq!(u.physical_slots, w.physical_slots, "seed {}", u.seed);
+            assert_eq!(u.lb_calls, w.lb_calls);
+            assert!(
+                w.max_physical_energy.unwrap() > u.max_physical_energy.unwrap(),
+                "transmit-heavy model must charge more than uniform"
+            );
         }
     }
 
@@ -712,7 +957,7 @@ mod tests {
                 sizes: vec![64],
                 seeds: (0..3).collect(),
                 protocol: Protocol::LbSweep { rounds: 4 },
-                stack: StackSpec::Physical { cd },
+                stack: StackSpec::physical(cd),
             })
         };
         for (no_cd, with_cd) in run(false).iter().zip(run(true)) {

@@ -1,0 +1,144 @@
+//! Property-based tests for the parallel scenario runner: randomly drawn
+//! `Scenario` configurations (family × size × seed count × backend ×
+//! protocol) must produce record-for-record identical output on the worker
+//! pool and on the exact serial path, and reordering a scenario *list* must
+//! only permute the output stream by whole scenario — never within one.
+
+use proptest::prelude::*;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use radio_bench::scenarios::{
+    run_scenario, run_scenario_with, run_scenarios_with, Family, Protocol, RunnerConfig, Scenario,
+    StackSpec,
+};
+use radio_protocols::EnergyModel;
+
+/// Decodes a drawn configuration into a `Scenario`. Families, backends and
+/// protocols are picked by small integers so the vendored proptest's range
+/// strategies cover the whole grid; sizes stay small because every case
+/// runs the scenario at least twice (serial + pool).
+fn decode_scenario(
+    family_pick: u8,
+    size: usize,
+    seed_lo: u64,
+    seed_count: usize,
+    backend_pick: u8,
+    proto_pick: u8,
+) -> Scenario {
+    let family = match family_pick % 7 {
+        0 => Family::Path,
+        1 => Family::Cycle,
+        2 => Family::Grid,
+        3 => Family::Tree { arity: 3 },
+        4 => Family::Star,
+        5 => Family::Lollipop,
+        _ => Family::Complete,
+    };
+    let stack = match backend_pick % 5 {
+        0 | 1 => StackSpec::Abstract,
+        2 => StackSpec::physical(false),
+        3 => StackSpec::physical(true),
+        _ => StackSpec::Physical {
+            cd: true,
+            model: EnergyModel::Weighted {
+                listen: 1,
+                transmit: 3,
+            },
+        },
+    };
+    let protocol = match proto_pick % 3 {
+        0 => Protocol::TrivialBfs,
+        1 => Protocol::Clustering {
+            inv_beta: 2 + u64::from(family_pick % 3),
+        },
+        _ => Protocol::LbSweep {
+            rounds: 2 + u64::from(proto_pick % 3),
+        },
+    };
+    Scenario {
+        name: format!("prop-{family_pick}-{backend_pick}-{proto_pick}"),
+        family,
+        sizes: vec![size],
+        seeds: (seed_lo..seed_lo + seed_count as u64).collect(),
+        protocol,
+        stack,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_run_equals_serial_run_record_for_record(
+        (family_pick, size, seed_lo) in (0u8..64, 12usize..40, 0u64..1_000_000),
+        (seed_count, backend_pick, proto_pick, threads) in (1usize..6, 0u8..64, 0u8..64, 2usize..9),
+    ) {
+        let scenario = decode_scenario(
+            family_pick, size, seed_lo, seed_count, backend_pick, proto_pick,
+        );
+        let serial = run_scenario(&scenario);
+        prop_assert_eq!(serial.len(), seed_count);
+        let parallel = run_scenario_with(&scenario, &RunnerConfig::with_threads(threads));
+        prop_assert_eq!(parallel.len(), serial.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(
+                s, p,
+                "scenario {:?} at {} threads: record #{} diverged",
+                &scenario.name, threads, i
+            );
+        }
+    }
+
+    #[test]
+    fn shuffling_the_scenario_list_permutes_output_by_scenario_only(
+        perm_seed in 0u64..1_000_000,
+        threads in 1usize..9,
+    ) {
+        // A fixed, distinguishable list: different names, families, seed
+        // counts and backends.
+        let list: Vec<Scenario> = vec![
+            decode_scenario(0, 24, 5, 3, 0, 0),
+            decode_scenario(2, 30, 0, 4, 2, 1),
+            decode_scenario(4, 18, 9, 2, 4, 2),
+            decode_scenario(6, 16, 1, 3, 0, 1),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut s)| {
+            s.name = format!("list-{i}");
+            s
+        })
+        .collect();
+        // Per-scenario reference blocks from the unshuffled serial run.
+        let blocks: Vec<_> = list.iter().map(run_scenario).collect();
+
+        // Fisher–Yates the list with a seeded RNG.
+        let mut order: Vec<usize> = (0..list.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(perm_seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let shuffled: Vec<Scenario> = order.iter().map(|&i| list[i].clone()).collect();
+        let records = run_scenarios_with(&shuffled, &RunnerConfig::with_threads(threads));
+
+        // The output must be exactly the reference blocks, concatenated in
+        // shuffled order: grouped by scenario, internally untouched.
+        let mut cursor = 0usize;
+        for &i in &order {
+            let block = &blocks[i];
+            prop_assert!(cursor + block.len() <= records.len());
+            for (j, want) in block.iter().enumerate() {
+                prop_assert_eq!(
+                    &records[cursor + j], want,
+                    "scenario {:?} (perm {:?}): record {} moved or changed",
+                    &list[i].name, &order, j
+                );
+            }
+            cursor += block.len();
+        }
+        prop_assert_eq!(cursor, records.len(), "stray records after all blocks");
+    }
+}

@@ -217,6 +217,31 @@ impl EnergyView {
         self.physical.as_ref().map(|p| p.slots)
     }
 
+    /// Raw listening slots of node `v` (model-independent), or `None` on
+    /// LB-only views. Together with [`EnergyView::transmit_slots`] this
+    /// exposes the counters [`EnergyView::physical_energy`] weights, so
+    /// tests can recompute `listen_w · listens + transmit_w · transmits`
+    /// independently.
+    pub fn listen_slots(&self, v: usize) -> Option<u64> {
+        self.physical.as_ref().map(|p| p.listen[v])
+    }
+
+    /// Raw transmitting slots of node `v` (model-independent), or `None`
+    /// on LB-only views.
+    pub fn transmit_slots(&self, v: usize) -> Option<u64> {
+        self.physical.as_ref().map(|p| p.transmit[v])
+    }
+
+    /// Sum of per-node physical energy under the view's model, when
+    /// available.
+    pub fn total_physical_energy(&self) -> Option<u64> {
+        self.physical.as_ref().map(|p| {
+            (0..p.listen.len())
+                .map(|v| self.energy_model.cost(p.listen[v], p.transmit[v]))
+                .sum()
+        })
+    }
+
     /// The counter-wise difference `self − before`, for measuring one phase
     /// of a longer run (e.g. query energy after setup energy). Counters are
     /// monotone, so ordinary subtraction applies; panics if the views cover
@@ -552,6 +577,22 @@ impl RadioStack for Stack {
 mod tests {
     use super::*;
     use radio_graph::generators;
+
+    #[test]
+    fn stacks_and_views_are_send_and_sync_sound() {
+        // The scenario runner moves whole stacks (and the frames/views they
+        // produce) onto pool workers; this pins the auto-traits so a future
+        // `Rc`/`RefCell` in a backend fails here instead of in the pool.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Stack>();
+        assert_send::<AbstractLbNetwork>();
+        assert_send::<PhysicalLbNetwork>();
+        assert_send::<LbFrame>();
+        assert_send::<EnergyView>();
+        assert_sync::<Capabilities>();
+        assert_sync::<StackBuilder>();
+    }
 
     #[test]
     fn builder_defaults_are_the_paper_model() {

@@ -395,6 +395,21 @@ mod tests {
     use super::*;
 
     #[test]
+    fn frames_and_scratch_are_send_sound() {
+        // Per-worker frame/scratch sets cross thread boundaries in the
+        // parallel scenario runner; pin the auto-traits here so any future
+        // shared-interior-mutability addition fails at the source.
+        fn assert_send<T: Send>() {}
+        assert_send::<NodeSet>();
+        assert_send::<NodeSlots<u64>>();
+        assert_send::<RoundFrame<u64>>();
+        assert_send::<SlotFrame<u64>>();
+        assert_send::<crate::DecayScratch<u64>>();
+        assert_send::<crate::RadioNetwork<u64>>();
+        assert_send::<crate::EnergyMeter>();
+    }
+
+    #[test]
     fn node_set_insert_remove_contains() {
         let mut s = NodeSet::new(130);
         assert!(s.is_empty());

@@ -157,6 +157,47 @@ fn cd_decay_local_broadcast_is_seed_deterministic_across_runs() {
 }
 
 #[test]
+fn parallel_scenario_runner_is_thread_count_invariant_on_the_default_sweep() {
+    // The determinism-conformance contract of the worker pool: every
+    // default scenario, run at 1, 2 and 8 threads, produces byte-identical
+    // JSON. Results are collected by work-item index (never completion
+    // order), so this must hold exactly; on failure the assertion names the
+    // first diverging record rather than dumping two multi-hundred-line
+    // JSON blobs.
+    use radio_bench::scenarios::{
+        default_scenarios, records_to_json, run_scenarios_with, RunnerConfig,
+    };
+    let scenarios = default_scenarios();
+    let reference = run_scenarios_with(&scenarios, &RunnerConfig::serial());
+    let reference_json = records_to_json(&reference);
+    for threads in [2usize, 8] {
+        let parallel = run_scenarios_with(&scenarios, &RunnerConfig::with_threads(threads));
+        assert_eq!(
+            parallel.len(),
+            reference.len(),
+            "threads={threads}: record count diverged"
+        );
+        if let Some((i, (serial_rec, parallel_rec))) = reference
+            .iter()
+            .zip(&parallel)
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+        {
+            panic!(
+                "threads={threads}: first diverging record is #{i} \
+                 (scenario {:?}, n {}, seed {}):\n  serial:   {serial_rec:?}\n  parallel: {parallel_rec:?}",
+                serial_rec.scenario, serial_rec.n, serial_rec.seed
+            );
+        }
+        assert_eq!(
+            records_to_json(&parallel),
+            reference_json,
+            "threads={threads}: records agree but JSON bytes diverged"
+        );
+    }
+}
+
+#[test]
 fn physical_cd_stack_is_seed_deterministic_across_runs() {
     // The same guarantee one layer up: a physical_cd stack driving the
     // CD-aware decay through the RadioStack surface, including the unified

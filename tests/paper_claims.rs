@@ -164,6 +164,81 @@ fn disjointness_construction_properties_hold_on_random_instances() {
     }
 }
 
+/// The "other energy models" discussion: under
+/// `EnergyModel::Weighted { listen, transmit }`, a device's physical energy
+/// is *defined* as `listen_w · listens + transmit_w · transmits`. On a
+/// fixed sweep, the `EnergyView` weighted totals must equal exactly that,
+/// recomputed from the raw slot counters, on both physical backends (plain
+/// Decay and the CD-aware variant) — i.e. weighting happens at read time
+/// and never perturbs the slot-level execution.
+#[test]
+fn weighted_energy_model_matches_raw_counter_recomputation() {
+    use radio_energy::protocols::EnergyModel;
+    let (listen_w, transmit_w) = (2u64, 5u64);
+    let model = EnergyModel::Weighted {
+        listen: listen_w,
+        transmit: transmit_w,
+    };
+    let g = generators::grid(6, 6);
+    let n = g.num_nodes();
+    for cd in [false, true] {
+        let mut builder = StackBuilder::new(g.clone()).physical(model).with_seed(9);
+        if cd {
+            builder = builder.with_cd();
+        }
+        let mut net = builder.build();
+        // A fixed 6-round sweep: rotating sender block, everyone else
+        // listening — every node pays both listen and transmit slots.
+        let mut frame = net.new_frame();
+        for round in 0..6u64 {
+            frame.clear();
+            for v in 0..n {
+                if (v as u64 + round).is_multiple_of(6) {
+                    frame.add_sender(v, radio_energy::protocols::Msg::words(&[round]));
+                } else {
+                    frame.add_receiver(v);
+                }
+            }
+            net.local_broadcast(&mut frame);
+        }
+        let view = net.energy_view();
+        assert_eq!(view.energy_model(), model);
+        // Per-node: the view's weighted energy equals the definition,
+        // recomputed from the raw (model-independent) slot counters — both
+        // as exposed by the view and as read off the simulator's meter.
+        let meter = match &net {
+            radio_energy::protocols::Stack::Physical(p) => p.radio().meter(),
+            radio_energy::protocols::Stack::Abstract(_) => unreachable!("physical build"),
+        };
+        let mut total = 0u64;
+        let mut some_node_transmitted = false;
+        for v in 0..n {
+            let listens = view.listen_slots(v).expect("physical view");
+            let transmits = view.transmit_slots(v).expect("physical view");
+            assert_eq!(listens, meter.listen_count(v), "cd={cd} node {v}");
+            assert_eq!(transmits, meter.transmit_count(v), "cd={cd} node {v}");
+            let expected = listen_w * listens + transmit_w * transmits;
+            assert_eq!(
+                view.physical_energy(v),
+                Some(expected),
+                "cd={cd} node {v}: weighted energy must be {listen_w}·{listens} + {transmit_w}·{transmits}"
+            );
+            some_node_transmitted |= transmits > 0;
+            total += expected;
+        }
+        assert!(
+            some_node_transmitted,
+            "cd={cd}: sweep exercised no transmit"
+        );
+        assert_eq!(view.total_physical_energy(), Some(total), "cd={cd}");
+        assert_eq!(
+            view.max_physical_energy(),
+            (0..n).filter_map(|v| view.physical_energy(v)).max(),
+            "cd={cd}"
+        );
+    }
+}
+
 /// Clustering energy matches Lemma 2.5's budget (at most the number of
 /// growth rounds, in Local-Broadcast units) on a variety of topologies.
 #[test]
