@@ -10,9 +10,13 @@
 //! ```
 //!
 //! `scenarios` accepts `--threads N` (worker threads for the scenario
-//! runner; default = available parallelism, `1` = the exact serial path)
-//! and `--quiet` (suppress per-scenario progress lines on stderr). The
-//! emitted records and JSON are byte-identical for every thread count.
+//! runner; default = available parallelism, `1` = the exact serial path),
+//! `--quiet` (suppress per-scenario progress lines on stderr), and
+//! `--protocol <spec>` (run only the default-sweep scenarios whose protocol
+//! resolves to the given registry spec, e.g. `trivial_bfs_cd`,
+//! `decay_bfs`, or `clustering:b=4`; an unknown spec exits non-zero with
+//! the registry's known-protocol list). The emitted records and JSON are
+//! byte-identical for every thread count.
 
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
@@ -44,6 +48,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut runner = radio_bench::scenarios::RunnerConfig::default();
+    let mut protocol_filter: Option<String> = None;
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
         if arg == "--quiet" {
@@ -53,6 +58,11 @@ fn main() {
             runner.threads = parse_threads(&v);
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             runner.threads = parse_threads(v);
+        } else if arg == "--protocol" {
+            let v = it.next().unwrap_or_else(|| die("--protocol needs a spec"));
+            protocol_filter = Some(v);
+        } else if let Some(v) = arg.strip_prefix("--protocol=") {
+            protocol_filter = Some(v.to_string());
         } else if arg.starts_with("--") {
             die(&format!("unknown flag {arg}"));
         } else {
@@ -61,6 +71,19 @@ fn main() {
     }
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     let wants = |id: &str| run_all || ids.iter().any(|a| a == id);
+
+    // Fail fast on --protocol problems: the filter only makes sense for an
+    // explicitly requested scenarios run (run_all would otherwise grind
+    // through E1–E14 first), and an unresolvable spec must exit before any
+    // experiment burns compute.
+    if let Some(spec) = &protocol_filter {
+        if !ids.iter().any(|a| a == "scenarios") {
+            die("--protocol requires the scenarios experiment (e.g. `-- scenarios --protocol trivial_bfs_cd`)");
+        }
+        if let Err(e) = energy_bfs::protocol::registry().get(spec) {
+            die(&e.to_string());
+        }
+    }
 
     if wants("e1") {
         e1_ball_intersections();
@@ -105,7 +128,7 @@ fn main() {
         e14_polling_tradeoff();
     }
     if wants("scenarios") {
-        scenario_sweeps(&runner);
+        scenario_sweeps(&runner, protocol_filter.as_deref());
     }
 }
 
@@ -121,18 +144,51 @@ fn parse_threads(v: &str) -> usize {
     }
 }
 
+/// The distinct protocol *specs* of the default sweep, for `--protocol`
+/// diagnostics — specs, not labels, so the suggestions can be fed straight
+/// back to `--protocol`.
+fn sweep_protocol_specs() -> Vec<String> {
+    let mut specs: Vec<String> = radio_bench::scenarios::default_scenarios()
+        .iter()
+        .map(|s| s.protocol.spec())
+        .collect();
+    specs.sort();
+    specs.dedup();
+    specs
+}
+
 /// Batched multi-seed scenario sweeps over the frame engine (grid/tree/
 /// cluster/contention workloads at sizes E1–E14 do not cover), executed on
 /// the worker pool. Set `SCENARIO_JSON=<path>` to also write the per-seed
 /// records as JSON — byte-identical for every `--threads` value.
-fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig) {
+///
+/// With a `--protocol` filter, only the default-sweep scenarios whose
+/// protocol resolves to the given registry spec run; the spec is validated
+/// through `energy_bfs::protocol::registry()` first, so a typo exits
+/// non-zero with the known-protocol list instead of silently matching
+/// nothing.
+fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig, protocol_filter: Option<&str>) {
     use radio_bench::scenarios::{default_scenarios, records_to_json, run_scenarios_with};
+    let mut scenarios = default_scenarios();
+    if let Some(spec) = protocol_filter {
+        let label = match energy_bfs::protocol::registry().get(spec) {
+            Ok(p) => p.name(),
+            Err(e) => die(&e.to_string()),
+        };
+        scenarios.retain(|s| s.protocol.label() == label.as_str());
+        if scenarios.is_empty() {
+            die(&format!(
+                "--protocol {spec}: no default-sweep scenario runs {label}; sweep specs: {}",
+                sweep_protocol_specs().join(", ")
+            ));
+        }
+    }
     header(
         "SCENARIOS",
         "batched multi-seed sweeps (6-32 seeds per family/size)",
     );
     let started = std::time::Instant::now();
-    let records = run_scenarios_with(&default_scenarios(), runner);
+    let records = run_scenarios_with(&scenarios, runner);
     // Wall-clock goes to stderr only: the table and the JSON must stay
     // byte-identical across runs and thread counts.
     if !runner.quiet {

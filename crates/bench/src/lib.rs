@@ -4,12 +4,20 @@
 //! `experiments` binary; the Criterion benches under `benches/` reuse the
 //! same building blocks to measure wall-clock scaling of the simulator
 //! itself. This library only holds the small amount of code both need.
+//!
+//! Workload dispatch goes through the protocol registry ([`registry`],
+//! re-exported from `energy-bfs`): the scenario runner resolves each
+//! [`scenarios::Protocol`] variant's spec once per scenario, and
+//! `experiments -- scenarios --protocol <spec>` validates CLI filters
+//! through the same path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pool;
 pub mod scenarios;
+
+pub use energy_bfs::protocol::registry;
 
 use energy_bfs::RecursiveBfsConfig;
 use radio_graph::{generators, Graph};

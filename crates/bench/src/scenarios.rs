@@ -15,6 +15,13 @@
 //! collision detection (where Local-Broadcast switches to the CD-aware
 //! Decay variant) — and the records then carry slot-level energy columns.
 //!
+//! Protocols are dispatched through `energy_bfs::protocol::registry()`: the
+//! [`Protocol`] enum here is only a thin parser mapping each variant to a
+//! registry spec ([`Protocol::spec`]), resolved once per scenario and
+//! shared across the worker pool. Capability mismatches (a CD protocol on a
+//! no-CD stack) surface as the registry's typed error, raised before a
+//! single Local-Broadcast is issued.
+//!
 //! Records serialize to JSON with a stable field order and no wall-clock
 //! fields, so a sweep is byte-for-byte reproducible: same scenarios + same
 //! seeds ⇒ identical JSON. That property is what lets sweeps be diffed
@@ -30,15 +37,10 @@
 //! conformance tests in `tests/determinism.rs` and the property tests in
 //! `crates/bench/tests/properties.rs` pin parallel output to serial output.
 
-use energy_bfs::baseline::trivial_bfs_with_frame;
-use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_graph::lower_bound::build_disjointness_graph;
 use radio_graph::{generators, Graph};
-use radio_protocols::{
-    cluster_distributed, ClusteringConfig, EnergyModel, Msg, RadioStack, Stack, StackBuilder,
-};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use radio_protocols::protocol::{Protocol as ProtocolImpl, ProtocolInput};
+use radio_protocols::{EnergyModel, RadioStack, Stack, StackBuilder};
 
 /// Graph family of a scenario. `size` is always the *target node count*;
 /// families that cannot hit it exactly (grids, trees, disjointness
@@ -210,10 +212,25 @@ impl StackSpec {
 }
 
 /// Protocol executed on each (size, seed) cell.
+///
+/// Since the `Protocol`-trait redesign this enum is only a thin, typo-proof
+/// parser over the registry: every variant maps to a spec string
+/// ([`Protocol::spec`]) that `energy_bfs::protocol::registry()` resolves
+/// into the boxed protocol the runner actually executes. New workloads are
+/// registry entries; a variant here is only warranted when the default
+/// sweep wants a declarative handle on one.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Protocol {
     /// Full-depth trivial wavefront BFS from node 0 (Section 4.3 baseline).
     TrivialBfs,
+    /// The wavefront exploiting receiver-side collision detection: `Noise`
+    /// verdicts settle exactly and an all-`Silence` round halts the run.
+    /// Requires a CD-capable [`StackSpec`] (the registry's capability gate
+    /// enforces this with a typed error).
+    TrivialBfsCd,
+    /// Unbounded Decay-style wavefront BFS: advances until a sweep settles
+    /// nothing new.
+    DecayBfs,
     /// Recursive BFS from node 0 with `1/β ≈ √D` (the paper's tuning),
     /// hierarchy rebuilt per seed.
     RecursiveBfs,
@@ -234,10 +251,27 @@ pub enum Protocol {
 }
 
 impl Protocol {
-    /// A printable name for tables and JSON.
+    /// The registry spec this variant resolves through, e.g.
+    /// `clustering:b=4`. `registry().get(&p.spec())` always succeeds, and
+    /// the resolved protocol's name equals [`Protocol::label`] — pinned by a
+    /// test below.
+    pub fn spec(&self) -> String {
+        match self {
+            Protocol::TrivialBfs => "trivial_bfs".into(),
+            Protocol::TrivialBfsCd => "trivial_bfs_cd".into(),
+            Protocol::DecayBfs => "decay_bfs".into(),
+            Protocol::RecursiveBfs => "recursive".into(),
+            Protocol::Clustering { inv_beta } => format!("clustering:b={inv_beta}"),
+            Protocol::LbSweep { rounds } => format!("lb_sweep:r={rounds}"),
+        }
+    }
+
+    /// A printable name for tables and JSON (the resolved protocol's id).
     pub fn label(&self) -> String {
         match self {
             Protocol::TrivialBfs => "trivial_bfs".into(),
+            Protocol::TrivialBfsCd => "trivial_bfs_cd".into(),
+            Protocol::DecayBfs => "decay_bfs".into(),
             Protocol::RecursiveBfs => "recursive_bfs".into(),
             Protocol::Clustering { inv_beta } => format!("clustering_b{inv_beta}"),
             Protocol::LbSweep { rounds } => format!("lb_sweep_{rounds}"),
@@ -362,58 +396,32 @@ impl WorkerScratch {
     }
 }
 
-/// Runs one (size, seed) cell: builds the seeded stack, executes the
-/// protocol, and reads the record off the energy view. Cells are pure in
-/// the index — everything seeded is derived from `seed`, and the frame is
-/// cleared before every use — which is what makes parallel execution
-/// record-identical to serial.
+/// Runs one (size, seed) cell: builds the seeded stack, dispatches the
+/// resolved protocol through [`ProtocolImpl::run_with_frame`], and reads
+/// the record off the report's energy view (a diff over exactly this run —
+/// equal to the stack's whole view, since the stack is fresh). Cells are
+/// pure in the index — everything seeded is derived from `seed`, and the
+/// frame is cleared before every use — which is what makes parallel
+/// execution record-identical to serial.
 fn run_cell(
     scenario: &Scenario,
+    protocol: &dyn ProtocolImpl,
     g: &Graph,
     n: usize,
     seed: u64,
     frame: &mut radio_protocols::LbFrame,
 ) -> ScenarioRecord {
     let mut net = scenario.stack.build(g.clone(), seed);
-    let outcome = match &scenario.protocol {
-        Protocol::TrivialBfs => {
-            let active = vec![true; n];
-            let result = trivial_bfs_with_frame(&mut net, &[0], &active, n as u64, frame);
-            result.dist.iter().filter(|d| d.is_some()).count() as u64
-        }
-        Protocol::RecursiveBfs => {
-            let depth = (n - 1) as u64;
-            let config = scaling_config_for(depth, seed);
-            let hierarchy = build_hierarchy(&mut net, &config);
-            let result =
-                recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
-            result.dist.iter().filter(|d| d.is_some()).count() as u64
-        }
-        Protocol::Clustering { inv_beta } => {
-            let cfg = ClusteringConfig::new(*inv_beta);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let state = cluster_distributed(&mut net, &cfg, &mut rng);
-            state.num_clusters() as u64
-        }
-        Protocol::LbSweep { rounds } => {
-            let mut delivered = 0u64;
-            for r in 0..*rounds {
-                frame.clear();
-                let src = (r as usize) % n;
-                frame.add_sender(src, Msg::words(&[r]));
-                for v in 0..n {
-                    if v != src {
-                        frame.add_receiver(v);
-                    }
-                }
-                net.local_broadcast(frame);
-                delivered += frame.delivered().len() as u64;
-            }
-            delivered
-        }
-    };
+    let report = protocol
+        .run_with_frame(&mut net, &ProtocolInput::from_seed(seed), frame)
+        .unwrap_or_else(|e| {
+            panic!(
+                "scenario {:?} (protocol {}, seed {seed}): {e}",
+                scenario.name,
+                scenario.protocol.label()
+            )
+        });
     let caps = net.capabilities();
-    let view = net.energy_view();
     ScenarioRecord {
         scenario: scenario.name.clone(),
         family: scenario.family.label(),
@@ -422,12 +430,12 @@ fn run_cell(
         protocol: scenario.protocol.label(),
         backend: caps.label(),
         energy_model: caps.energy_model.label(),
-        lb_calls: view.lb_time(),
-        max_lb_energy: view.max_lb_energy(),
-        mean_lb_energy: view.mean_lb_energy(),
-        max_physical_energy: view.max_physical_energy(),
-        physical_slots: view.physical_slots(),
-        outcome,
+        lb_calls: report.energy.lb_time(),
+        max_lb_energy: report.energy.max_lb_energy(),
+        mean_lb_energy: report.energy.mean_lb_energy(),
+        max_physical_energy: report.energy.max_physical_energy(),
+        physical_slots: report.energy.physical_slots(),
+        outcome: report.outcome(),
     }
 }
 
@@ -436,6 +444,11 @@ fn run_cell(
 /// records collected in cell order (size-major, seed-minor — the serial
 /// order). Every worker owns one reusable frame.
 pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<ScenarioRecord> {
+    // Resolve the protocol once per scenario; the boxed protocol is
+    // stateless (`Send + Sync`), so all workers share it by reference.
+    let protocol = energy_bfs::protocol::registry()
+        .get(&scenario.protocol.spec())
+        .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name));
     // Graph construction is deterministic and cheap next to protocol
     // execution, so sizes are materialized up front on the caller's thread
     // and shared immutably with the workers.
@@ -456,7 +469,7 @@ pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<Scen
     crate::pool::run_indexed(cells, config.threads, WorkerScratch::new, |scratch, i| {
         let (g, n) = &graphs[i / seeds.len()];
         let seed = seeds[i % seeds.len()];
-        run_cell(scenario, g, *n, seed, scratch.frame_for(*n))
+        run_cell(scenario, &*protocol, g, *n, seed, scratch.frame_for(*n))
     })
 }
 
@@ -494,19 +507,6 @@ pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<ScenarioRecord> {
     run_scenarios_with(scenarios, &RunnerConfig::serial())
 }
 
-fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
-    let inv_beta = ((depth as f64).sqrt().round() as u64)
-        .next_power_of_two()
-        .max(4);
-    RecursiveBfsConfig {
-        inv_beta,
-        max_depth: 1,
-        trivial_cutoff: inv_beta,
-        seed,
-        ..Default::default()
-    }
-}
-
 /// The default sweep wired into `experiments -- scenarios`: the PR-2 era
 /// grid/tree/cluster/contention workloads at six seeds, plus 32-seed
 /// statistical sweeps of the clustering, hardness (Theorems 5.1/5.2), and
@@ -514,6 +514,13 @@ fn scaling_config_for(depth: u64, seed: u64) -> RecursiveBfsConfig {
 /// averages out — and a `Weighted` energy-model dimension on the physical
 /// backends (the paper's "other energy models" discussion: a radio whose
 /// transmissions cost 4x a listen).
+///
+/// Appended after the PR-4 era families (order is part of the byte-stable
+/// JSON contract, so additions are append-only): the `decay_bfs` wavefront
+/// on the grid/tree/lollipop families, the `trivial_bfs_cd` twin of the
+/// physical trivial-BFS scenario (CD-vs-no-CD per seed on identical
+/// workloads), and the E-series weight-ratio sweep — `trivial_bfs` and
+/// `decay_bfs` under listen:transmit ratios 1:1, 1:4, and 4:1.
 pub fn default_scenarios() -> Vec<Scenario> {
     let seeds: Vec<u64> = (0..6).collect();
     let seeds32: Vec<u64> = (0..32).collect();
@@ -652,6 +659,62 @@ pub fn default_scenarios() -> Vec<Scenario> {
             model: transmit_heavy,
         },
     });
+    // ---- Append-only additions below (the records above are pinned
+    // byte-for-byte across the Protocol-registry redesign). ----
+    // The unbounded Decay wavefront on the structured families.
+    for (name, family, size) in [
+        ("grid32-decay", Family::Grid, 1024usize),
+        ("tree3-decay", Family::Tree { arity: 3 }, 1093),
+        ("lollipop-decay", Family::Lollipop, 2048),
+    ] {
+        out.push(Scenario {
+            name: name.into(),
+            family,
+            sizes: vec![size],
+            seeds: seeds.clone(),
+            protocol: Protocol::DecayBfs,
+            stack: StackSpec::Abstract,
+        });
+    }
+    // The CD-exploiting trivial BFS, the per-seed twin of
+    // `grid16-trivial-physical`: identical workload and seeds, so diffing
+    // the physical columns isolates the collision-detection saving.
+    out.push(Scenario {
+        name: "grid16-trivial-physical-cd".into(),
+        family: Family::Grid,
+        sizes: vec![256],
+        seeds: seeds.clone(),
+        protocol: Protocol::TrivialBfsCd,
+        stack: StackSpec::physical(true),
+    });
+    // E-series weight-ratio sweep (the paper's "other energy models"
+    // discussion): the two wavefront baselines under listen:transmit
+    // ratios 1:1, 1:4 (power-amplifier-bound radio), and 4:1
+    // (downlink-heavy radio), all on the physical backend with identical
+    // slot schedules per seed — only the energy_model column reweights.
+    // `eseries-trivial-uniform` deliberately duplicates the workload of
+    // `grid16-trivial-physical` (6 cheap cells): the E-series stays a
+    // self-contained three-ratio family under one naming scheme, so its
+    // consumers never need to know another scenario aliases the 1:1 row.
+    let listen_heavy = EnergyModel::Weighted {
+        listen: 4,
+        transmit: 1,
+    };
+    for (pname, protocol) in [
+        ("trivial", Protocol::TrivialBfs),
+        ("decay", Protocol::DecayBfs),
+    ] {
+        for model in [EnergyModel::Uniform, transmit_heavy, listen_heavy] {
+            out.push(Scenario {
+                name: format!("eseries-{pname}-{}", model.label()),
+                family: Family::Grid,
+                sizes: vec![256],
+                seeds: seeds.clone(),
+                protocol: protocol.clone(),
+                stack: StackSpec::Physical { cd: false, model },
+            });
+        }
+    }
     out
 }
 
@@ -899,6 +962,153 @@ mod tests {
         for threads in [2usize, 3, 8] {
             let parallel = run_scenario_with(&sweep, &RunnerConfig::with_threads(threads));
             assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_enum_variant_resolves_and_labels_agree_with_the_registry() {
+        // The thin-parser contract: each variant's spec resolves, and the
+        // resolved protocol's name is exactly the label the records carry.
+        let registry = energy_bfs::protocol::registry();
+        let variants = [
+            Protocol::TrivialBfs,
+            Protocol::TrivialBfsCd,
+            Protocol::DecayBfs,
+            Protocol::RecursiveBfs,
+            Protocol::Clustering { inv_beta: 4 },
+            Protocol::LbSweep { rounds: 16 },
+        ];
+        for p in variants {
+            let resolved = registry
+                .get(&p.spec())
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert_eq!(
+                resolved.name().as_str(),
+                p.label(),
+                "spec {} resolved to a differently-labelled protocol",
+                p.spec()
+            );
+        }
+    }
+
+    #[test]
+    fn decay_bfs_scenarios_label_everything_and_match_trivial_outcomes() {
+        let run = |protocol: Protocol| {
+            run_scenario(&Scenario {
+                name: "decaycmp".into(),
+                family: Family::Grid,
+                sizes: vec![64],
+                seeds: (0..3).collect(),
+                protocol,
+                stack: StackSpec::Abstract,
+            })
+        };
+        for (d, t) in run(Protocol::DecayBfs)
+            .iter()
+            .zip(run(Protocol::TrivialBfs))
+        {
+            assert_eq!(d.protocol, "decay_bfs");
+            assert_eq!(d.outcome, d.n as u64, "seed {}", d.seed);
+            assert_eq!(d.outcome, t.outcome);
+            // The unbounded wavefront stops one unproductive sweep after
+            // eccentricity; the bounded one stops on an empty receiver set.
+            assert!(d.lb_calls <= t.lb_calls + 1);
+        }
+    }
+
+    #[test]
+    fn trivial_bfs_cd_scenario_beats_its_no_cd_twin_on_physical_energy() {
+        // The acceptance comparison the CI smoke re-runs on the full sweep:
+        // identical workload and seeds, CD stack vs plain physical stack —
+        // same labels and LB accounting, strictly cheaper slots.
+        let run = |cd: bool| {
+            run_scenario(&Scenario {
+                name: "cdtwin".into(),
+                family: Family::Grid,
+                sizes: vec![64],
+                seeds: (0..3).collect(),
+                protocol: if cd {
+                    Protocol::TrivialBfsCd
+                } else {
+                    Protocol::TrivialBfs
+                },
+                stack: StackSpec::physical(cd),
+            })
+        };
+        for (no_cd, with_cd) in run(false).iter().zip(run(true)) {
+            assert_eq!(no_cd.seed, with_cd.seed);
+            assert_eq!(with_cd.backend, "physical_cd");
+            assert_eq!(no_cd.outcome, with_cd.outcome, "labels must agree");
+            assert_eq!(no_cd.lb_calls, with_cd.lb_calls);
+            assert_eq!(no_cd.max_lb_energy, with_cd.max_lb_energy);
+            assert!(
+                with_cd.max_physical_energy.unwrap() <= no_cd.max_physical_energy.unwrap(),
+                "seed {}: CD twin costs more slots",
+                no_cd.seed
+            );
+        }
+    }
+
+    #[test]
+    fn cd_protocol_on_a_no_cd_stack_panics_with_the_typed_error_message() {
+        // The runner turns the registry's typed error into a panic naming
+        // the scenario; the message must carry the capability mismatch.
+        let result = std::panic::catch_unwind(|| {
+            run_scenario(&Scenario {
+                name: "badcaps".into(),
+                family: Family::Path,
+                sizes: vec![8],
+                seeds: vec![0],
+                protocol: Protocol::TrivialBfsCd,
+                stack: StackSpec::physical(false),
+            })
+        });
+        let err = result.expect_err("must refuse to run");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("collision detection"), "panic said: {msg}");
+        assert!(msg.contains("badcaps"), "panic said: {msg}");
+    }
+
+    #[test]
+    fn eseries_families_reweight_identical_slot_schedules() {
+        // The E-series contract: per seed, the three weight ratios run the
+        // exact same slots; only the energy column changes, and the 4:1
+        // listen-heavy model dominates on listen-bound wavefronts.
+        let run = |model: EnergyModel| {
+            run_scenario(&Scenario {
+                name: "es".into(),
+                family: Family::Grid,
+                sizes: vec![49],
+                seeds: (0..2).collect(),
+                protocol: Protocol::TrivialBfs,
+                stack: StackSpec::Physical { cd: false, model },
+            })
+        };
+        let uniform = run(EnergyModel::Uniform);
+        let tx_heavy = run(EnergyModel::Weighted {
+            listen: 1,
+            transmit: 4,
+        });
+        let rx_heavy = run(EnergyModel::Weighted {
+            listen: 4,
+            transmit: 1,
+        });
+        for ((u, t), r) in uniform.iter().zip(&tx_heavy).zip(&rx_heavy) {
+            assert_eq!(u.physical_slots, t.physical_slots);
+            assert_eq!(u.physical_slots, r.physical_slots);
+            assert_eq!(t.energy_model, "w1l4t");
+            assert_eq!(r.energy_model, "w4l1t");
+            assert!(t.max_physical_energy.unwrap() > u.max_physical_energy.unwrap());
+            assert!(r.max_physical_energy.unwrap() > u.max_physical_energy.unwrap());
+            // Wavefront receivers listen far more than they transmit, so
+            // the listen-heavy ratio is the most expensive of the three.
+            assert!(
+                r.max_physical_energy.unwrap() > t.max_physical_energy.unwrap(),
+                "seed {}: listen-heavy {} ≤ transmit-heavy {}",
+                u.seed,
+                r.max_physical_energy.unwrap(),
+                t.max_physical_energy.unwrap()
+            );
         }
     }
 

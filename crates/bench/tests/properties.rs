@@ -1,8 +1,11 @@
-//! Property-based tests for the parallel scenario runner: randomly drawn
-//! `Scenario` configurations (family × size × seed count × backend ×
-//! protocol) must produce record-for-record identical output on the worker
-//! pool and on the exact serial path, and reordering a scenario *list* must
-//! only permute the output stream by whole scenario — never within one.
+//! Property-based tests for the parallel scenario runner and the protocol
+//! registry: randomly drawn `Scenario` configurations (family × size × seed
+//! count × backend × protocol) must produce record-for-record identical
+//! output on the worker pool and on the exact serial path; reordering a
+//! scenario *list* must only permute the output stream by whole scenario —
+//! never within one; and registry-dispatched protocol runs must be
+//! byte-identical to the direct free-function calls they wrap, on every
+//! backend.
 
 use proptest::prelude::*;
 
@@ -10,11 +13,16 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use energy_bfs::baseline::{decay_bfs, trivial_bfs, trivial_bfs_cd};
+use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_bench::scenarios::{
     run_scenario, run_scenario_with, run_scenarios_with, Family, Protocol, RunnerConfig, Scenario,
     StackSpec,
 };
-use radio_protocols::EnergyModel;
+use radio_protocols::protocol::ProtocolInput;
+use radio_protocols::{
+    cluster_distributed, ClusteringConfig, EnergyModel, Msg, RadioStack, Stack, StackBuilder,
+};
 
 /// Decodes a drawn configuration into a `Scenario`. Families, backends and
 /// protocols are picked by small integers so the vendored proptest's range
@@ -49,14 +57,23 @@ fn decode_scenario(
             },
         },
     };
-    let protocol = match proto_pick % 3 {
+    let protocol = match proto_pick % 5 {
         0 => Protocol::TrivialBfs,
         1 => Protocol::Clustering {
             inv_beta: 2 + u64::from(family_pick % 3),
         },
-        _ => Protocol::LbSweep {
+        2 => Protocol::DecayBfs,
+        3 => Protocol::LbSweep {
             rounds: 2 + u64::from(proto_pick % 3),
         },
+        _ => Protocol::TrivialBfsCd,
+    };
+    // The CD-exploiting wavefront needs a CD-capable stack — the registry's
+    // capability gate would (correctly) refuse anything else.
+    let stack = if protocol == Protocol::TrivialBfsCd {
+        StackSpec::physical(true)
+    } else {
+        stack
     };
     Scenario {
         name: format!("prop-{family_pick}-{backend_pick}-{proto_pick}"),
@@ -140,5 +157,144 @@ proptest! {
             cursor += block.len();
         }
         prop_assert_eq!(cursor, records.len(), "stray records after all blocks");
+    }
+}
+
+/// Builds one stack of the drawn backend; `cd` forces collision detection
+/// (for the `*_cd` protocols) and `backend_pick`'s high bit enables it
+/// opportunistically everywhere else, so both CD and no-CD stacks are
+/// exercised for every protocol that accepts both.
+fn build_stack(backend_pick: u8, cd: bool, g: &radio_graph::Graph, seed: u64) -> Stack {
+    let builder = StackBuilder::new(g.clone()).with_seed(seed);
+    let builder = match backend_pick % 3 {
+        0 => builder,
+        1 => builder.physical(EnergyModel::Uniform),
+        _ => builder.physical(EnergyModel::Weighted {
+            listen: 1,
+            transmit: 3,
+        }),
+    };
+    if cd || backend_pick >= 128 {
+        builder.with_cd().build()
+    } else {
+        builder.build()
+    }
+}
+
+/// The exact free-function call each registry spec wraps, replicated the
+/// way the pre-redesign scenario runner made it. Returns the outcome scalar
+/// the record would carry.
+fn run_direct(spec: &str, net: &mut Stack, seed: u64) -> u64 {
+    let n = net.num_nodes();
+    let active = vec![true; n];
+    match spec {
+        "trivial_bfs" => {
+            let result = trivial_bfs(net, &[0], &active, n as u64);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        "trivial_bfs_cd" => {
+            let result = trivial_bfs_cd(net, &[0], &active, n as u64);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        "decay_bfs" => {
+            let result = decay_bfs(net, 0);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        "recursive" => {
+            let depth = (n - 1) as u64;
+            let inv_beta = ((depth as f64).sqrt().round() as u64)
+                .next_power_of_two()
+                .max(4);
+            let config = RecursiveBfsConfig {
+                inv_beta,
+                max_depth: 1,
+                trivial_cutoff: inv_beta,
+                seed,
+                ..Default::default()
+            };
+            let hierarchy = build_hierarchy(net, &config);
+            let result = recursive_bfs_with_hierarchy(net, &hierarchy, &[0], depth, &config, &[]);
+            result.dist.iter().filter(|d| d.is_some()).count() as u64
+        }
+        "clustering:b=3" => {
+            let cfg = ClusteringConfig::new(3);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            cluster_distributed(net, &cfg, &mut rng).num_clusters() as u64
+        }
+        "lb_sweep:r=5" => {
+            let mut frame = net.new_frame();
+            let mut delivered = 0u64;
+            for r in 0..5u64 {
+                frame.clear();
+                let src = (r as usize) % n;
+                frame.add_sender(src, Msg::words(&[r]));
+                for v in 0..n {
+                    if v != src {
+                        frame.add_receiver(v);
+                    }
+                }
+                net.local_broadcast(&mut frame);
+                delivered += frame.delivered().len() as u64;
+            }
+            delivered
+        }
+        other => panic!("no direct twin for spec {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    #[test]
+    fn registry_dispatch_is_byte_identical_to_direct_calls(
+        (family_pick, size, seed) in (0u8..64, 10usize..36, 0u64..1_000_000),
+        (backend_pick, proto_pick) in (0u8..255, 0u8..64),
+    ) {
+        // Every registered protocol, random scenarios, both backends (and
+        // both CD settings where the protocol allows them): resolving a
+        // spec through the registry and running it must reproduce the
+        // direct free-function call bit for bit — same payload, same
+        // outcome, same energy counters. This is the contract that made the
+        // scenario runner's migration to registry dispatch a no-op at the
+        // JSON level.
+        let specs = [
+            "trivial_bfs",
+            "trivial_bfs_cd",
+            "decay_bfs",
+            "recursive",
+            "clustering:b=3",
+            "lb_sweep:r=5",
+        ];
+        let spec = specs[usize::from(proto_pick) % specs.len()];
+        let family = match family_pick % 5 {
+            0 => Family::Path,
+            1 => Family::Cycle,
+            2 => Family::Grid,
+            3 => Family::Tree { arity: 3 },
+            _ => Family::Star,
+        };
+        let g = family.build(size);
+        let cd = spec == "trivial_bfs_cd";
+
+        let mut via_registry = build_stack(backend_pick, cd, &g, seed);
+        let report = energy_bfs::protocol::registry()
+            .get(spec)
+            .unwrap()
+            .run(&mut via_registry, &ProtocolInput::from_seed(seed))
+            .unwrap();
+
+        let mut direct_stack = build_stack(backend_pick, cd, &g, seed);
+        let outcome = run_direct(spec, &mut direct_stack, seed);
+
+        prop_assert_eq!(
+            report.outcome(), outcome,
+            "spec {} on {}: outcome diverged", spec, direct_stack.capabilities().label()
+        );
+        prop_assert_eq!(
+            report.energy, direct_stack.energy_view(),
+            "spec {} on {}: energy counters diverged",
+            spec, direct_stack.capabilities().label()
+        );
+        prop_assert_eq!(report.lb_calls(), via_registry.lb_time());
     }
 }

@@ -9,8 +9,13 @@
 //!   per-vertex energy is `Θ(D)` Local-Broadcast units.
 //! * [`decay_bfs`] — the same wavefront protocol without a known distance
 //!   bound: it keeps advancing until a full sweep settles nothing new.
+//! * [`trivial_bfs_cd`] — the wavefront on a collision-detection-capable
+//!   stack: per-receiver verdicts from the frame's feedback lane settle
+//!   collided/failed deliveries exactly (`Noise` at step `t` ⇒ distance
+//!   `t + 1`) and retire listeners the silence record proves are beyond the
+//!   depth bound.
 
-use radio_protocols::{LbFrame, Msg, RadioStack};
+use radio_protocols::{LbFeedback, LbFrame, Msg, RadioStack};
 
 /// Result of a wavefront BFS at the Local-Broadcast level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,15 +92,127 @@ pub fn trivial_bfs_with_frame(
     WavefrontResult { dist, calls }
 }
 
+/// [`trivial_bfs`] on a collision-detection-capable stack, exploiting the
+/// frame's per-receiver feedback lane. The Local-Broadcast schedule is the
+/// wavefront of [`trivial_bfs`]; two sound refinements ride on the verdicts:
+///
+/// * **`Noise` settles exactly.** Channel activity at step `t` means some
+///   neighbour is at distance `t`, so the receiver is at distance `t + 1` —
+///   even though no payload was decoded. On lossy stacks this recovers the
+///   label a no-CD run would mislabel or miss; the receiver also stops
+///   listening (and starts transmitting) one step earlier.
+/// * **All-`Silence` rounds end the run.** A call whose every verdict is
+///   `Silence` settled nobody, so the next frontier is empty and every
+///   remaining round is provably dead: settled-frontier-adjacent vertices
+///   (there are none left) cannot appear again, and all pending listeners
+///   skip their remaining listen rounds. This is exactly the termination
+///   rule [`decay_bfs`] already uses — but the no-CD wavefront cannot apply
+///   it ("the receivers still listen; they cannot know"), because without
+///   collision detection an unheard round and a dead frontier look the
+///   same. With receiver CD, every settling event manifests as `Delivered`
+///   or `Noise`, so an all-silent round is a provable frontier death.
+///
+/// Within a live wavefront the listen schedule is provably identical to the
+/// no-CD twin (a single silence rules out exactly one distance value, the
+/// one that round would have settled anyway), so distances agree with
+/// [`trivial_bfs`] on reliable stacks and the LB-unit energy never exceeds
+/// the no-CD twin's; on `physical_cd` stacks the big saving is at the slot
+/// level, where the CD-aware Decay retires hopeless receivers after one
+/// iteration. Panics if the stack lacks receiver-side collision detection —
+/// use [`crate::protocol::registry`]-dispatched runs for the typed
+/// capability error instead.
+pub fn trivial_bfs_cd(
+    net: &mut dyn RadioStack,
+    sources: &[usize],
+    active: &[bool],
+    depth: u64,
+) -> WavefrontResult {
+    let mut frame = net.new_frame();
+    trivial_bfs_cd_with_frame(net, sources, active, depth, &mut frame)
+}
+
+/// [`trivial_bfs_cd`] driving its calls through a caller-provided frame.
+pub fn trivial_bfs_cd_with_frame(
+    net: &mut dyn RadioStack,
+    sources: &[usize],
+    active: &[bool],
+    depth: u64,
+    frame: &mut LbFrame,
+) -> WavefrontResult {
+    let n = net.num_nodes();
+    assert_eq!(active.len(), n);
+    assert!(
+        net.capabilities().collision_detection.is_receiver(),
+        "trivial_bfs_cd needs a stack built with_cd(); \
+         the registry path reports this as a typed ProtocolError instead"
+    );
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    for &s in sources {
+        if active[s] {
+            dist[s] = Some(0);
+        }
+    }
+    let mut calls = 0u64;
+    for step in 0..depth {
+        frame.clear();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            if dist[v] == Some(step) {
+                frame.add_sender(v, Msg::words(&[step]));
+            } else if dist[v].is_none() {
+                frame.add_receiver(v);
+            }
+        }
+        if frame.receivers().is_empty() {
+            break;
+        }
+        net.local_broadcast(frame);
+        calls += 1;
+        let mut settled_any = false;
+        for (v, m) in frame.delivered().iter() {
+            if dist[v].is_none() {
+                dist[v] = Some(m.word(0) + 1);
+                settled_any = true;
+            }
+        }
+        // Noise verdicts: activity without a decoded payload still pins the
+        // distance — a sending neighbour exists at `step`.
+        for (v, fb) in frame.feedback().iter() {
+            if *fb == LbFeedback::Noise && dist[v].is_none() {
+                dist[v] = Some(step + 1);
+                settled_any = true;
+            }
+        }
+        // All verdicts Silence ⇒ the frontier died; every remaining round
+        // is provably dead, so the pending listeners stop here.
+        if !settled_any {
+            break;
+        }
+    }
+    WavefrontResult { dist, calls }
+}
+
 /// Decay-style BFS without a distance bound: advances the wavefront until a
 /// sweep settles no new vertex. All unsettled vertices listen in every call.
 pub fn decay_bfs(net: &mut dyn RadioStack, source: usize) -> WavefrontResult {
+    let mut frame = net.new_frame();
+    decay_bfs_with_frame(net, source, &mut frame)
+}
+
+/// [`decay_bfs`] driving its calls through a caller-provided frame, so
+/// batched callers (the scenario runner) reuse one allocation across runs.
+pub fn decay_bfs_with_frame(
+    net: &mut dyn RadioStack,
+    source: usize,
+    frame: &mut LbFrame,
+) -> WavefrontResult {
     let n = net.num_nodes();
     let mut dist: Vec<Option<u64>> = vec![None; n];
     dist[source] = Some(0);
     let mut calls = 0u64;
     let mut frontier_dist = 0u64;
-    let mut frame = net.new_frame();
     loop {
         frame.clear();
         for (v, d) in dist.iter().enumerate() {
@@ -108,7 +225,7 @@ pub fn decay_bfs(net: &mut dyn RadioStack, source: usize) -> WavefrontResult {
         if frame.senders().is_empty() || frame.receivers().is_empty() {
             break;
         }
-        net.local_broadcast(&mut frame);
+        net.local_broadcast(frame);
         calls += 1;
         let mut settled_any = false;
         for (v, m) in frame.delivered().iter() {
@@ -215,6 +332,77 @@ mod tests {
         // Exactly eccentricity-many productive sweeps.
         let ecc = bfs_distances(&g, 7).iter().copied().max().unwrap() as u64;
         assert!(result.calls >= ecc && result.calls <= ecc + 1);
+    }
+
+    #[test]
+    fn trivial_bfs_cd_matches_trivial_bfs_on_reliable_stacks() {
+        // Same wavefront, same labels, same LB-unit accounting — the CD
+        // refinements only fire on noise (none here) or beyond the horizon.
+        let g = generators::grid(7, 9);
+        let n = g.num_nodes();
+        let active = vec![true; n];
+        let mut plain = StackBuilder::new(g.clone()).build();
+        let want = trivial_bfs(&mut plain, &[0], &active, n as u64);
+        let mut cd = StackBuilder::new(g.clone()).with_cd().build();
+        let got = trivial_bfs_cd(&mut cd, &[0], &active, n as u64);
+        assert_eq!(got.dist, want.dist);
+        assert_eq!(got.calls, want.calls);
+        for v in 0..n {
+            assert_eq!(plain.lb_energy(v), cd.lb_energy(v), "vertex {v}");
+        }
+        check_against_reference(&g, &got, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_cd")]
+    fn trivial_bfs_cd_panics_without_collision_detection() {
+        let g = generators::path(4);
+        let mut net = StackBuilder::new(g).build();
+        let active = vec![true; 4];
+        let _ = trivial_bfs_cd(&mut net, &[0], &active, 4);
+    }
+
+    #[test]
+    fn trivial_bfs_cd_skips_listen_rounds_after_frontier_death() {
+        // Two components (0-1-2-3-4 and 5-6-7-8-9), source 0, depth 10. The
+        // no-CD wavefront cannot detect that the frontier died at step 5, so
+        // the unreachable component listens through all 10 calls; the CD
+        // twin reads the all-Silence round and stops — half the calls, half
+        // the listen energy for the far component, identical labels.
+        let mut edges: Vec<(usize, usize)> = (0..4).map(|i| (i, i + 1)).collect();
+        edges.extend((5..9).map(|i| (i, i + 1)));
+        let g = radio_graph::Graph::from_edges(10, &edges);
+        let active = vec![true; 10];
+        let mut plain = StackBuilder::new(g.clone()).build();
+        let want = trivial_bfs(&mut plain, &[0], &active, 10);
+        let mut cd = StackBuilder::new(g).with_cd().build();
+        let got = trivial_bfs_cd(&mut cd, &[0], &active, 10);
+        assert_eq!(got.dist, want.dist, "labels must agree");
+        assert_eq!(want.calls, 10, "no-CD runs the full depth");
+        assert_eq!(got.calls, 5, "CD stops at the first all-silent round");
+        assert_eq!(plain.lb_energy(9), 10);
+        assert_eq!(cd.lb_energy(9), 5);
+        // Never *more* energy anywhere.
+        for v in 0..10 {
+            assert!(cd.lb_energy(v) <= plain.lb_energy(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn trivial_bfs_cd_settles_exactly_from_noise_on_lossy_stacks() {
+        // A lossy abstract stack with CD: failed deliveries surface as Noise
+        // verdicts, which pin the distance exactly (a sending neighbour
+        // exists at the current step). The labelling therefore matches the
+        // reference even at failure rates that derail the no-CD wavefront.
+        let g = generators::path(12);
+        let active = vec![true; 12];
+        let mut lossy = StackBuilder::new(g.clone())
+            .with_cd()
+            .with_failures(0.6)
+            .with_seed(9)
+            .build();
+        let got = trivial_bfs_cd(&mut lossy, &[0], &active, 12);
+        check_against_reference(&g, &got, 0);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   ledger.
 //! * [`metrics`] — energy summaries and the per-stage statistics behind
 //!   Claims 1 and 2 and Figure 3.
+//! * [`protocol`](mod@protocol) — the BFS drivers wrapped as first-class
+//!   [`radio_protocols::Protocol`]s and the full [`registry`] resolving
+//!   specs like `trivial_bfs`, `decay_bfs`, `recursive:b=8`, or
+//!   `clustering:b=4` into runnable protocols.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +34,12 @@ pub mod diameter;
 pub mod estimates;
 pub mod hardness;
 pub mod metrics;
+pub mod protocol;
 pub mod recursive_bfs;
 pub mod zseq;
 
 pub use config::RecursiveBfsConfig;
 pub use metrics::{EnergySummary, RecursionStats};
+pub use protocol::{registry, DecayBfsProtocol, RecursiveBfsProtocol, TrivialBfsProtocol};
 pub use recursive_bfs::{build_hierarchy, recursive_bfs, recursive_bfs_with_hierarchy, BfsOutcome};
 pub use zseq::ZSequence;

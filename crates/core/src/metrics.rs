@@ -46,6 +46,14 @@ impl EnergySummary {
         Self::of_view(&net.energy_view())
     }
 
+    /// Digests a [`radio_protocols::ProtocolReport`]: the summary of
+    /// exactly that run's energy (the report carries the view *diff*), so
+    /// registry-dispatched workloads drop into every table the free
+    /// functions used to feed.
+    pub fn of_report(report: &radio_protocols::ProtocolReport) -> Self {
+        Self::of_view(&report.energy)
+    }
+
     /// Digests an already-taken [`EnergyView`] snapshot (e.g. a
     /// [`EnergyView::diff`] of two phases).
     pub fn of_view(view: &EnergyView) -> Self {

@@ -1,0 +1,400 @@
+//! The BFS drivers as first-class [`Protocol`]s, plus the full
+//! [`registry`] every runner should use.
+//!
+//! `radio-protocols` defines the trait, the registry machinery, and the
+//! protocols of its own layer (`clustering`, `lb_sweep`); this module wraps
+//! the BFS family of Section 4 on top and assembles the complete registry:
+//!
+//! | spec | protocol | requires |
+//! |------|----------|----------|
+//! | `trivial_bfs[:depth=D]` | Section 4.3 wavefront, depth `D` (default `n`) | — |
+//! | `trivial_bfs_cd[:depth=D]` | the wavefront + CD verdicts ([`crate::baseline::trivial_bfs_cd`]) | receiver CD |
+//! | `decay_bfs` | unbounded wavefront, stops when a sweep settles nothing | — |
+//! | `recursive[:b=B,eps=E,d=L]` | recursive BFS, `1/β = B` (default `⌈√D⌉` per `eps = 0.5`) | — |
+//! | `clustering:b=B` | distributed MPX clustering (from `radio-protocols`) | — |
+//! | `lb_sweep:r=R` | Local-Broadcast stress loop (from `radio-protocols`) | — |
+//!
+//! Every wrapper reproduces the historical free-function call exactly
+//! (sources, depth defaults, seed derivation), so registry-dispatched runs
+//! are byte-identical to direct calls — the property the scenario runner's
+//! JSON stability rests on, pinned by `crates/bench/tests/properties.rs`.
+
+use radio_protocols::protocol::base_registry;
+use radio_protocols::{
+    CollisionDetection, LbFrame, Protocol, ProtocolId, ProtocolInput, ProtocolOutput,
+    ProtocolRegistry, RadioStack,
+};
+
+use crate::baseline::{decay_bfs_with_frame, trivial_bfs_cd_with_frame, trivial_bfs_with_frame};
+use crate::config::RecursiveBfsConfig;
+use crate::recursive_bfs::{build_hierarchy, recursive_bfs_with_hierarchy};
+
+/// The full protocol registry: the Local-Broadcast-layer protocols of
+/// `radio-protocols` plus the BFS drivers of this crate. Build one per
+/// runner (construction is a handful of pushes) and resolve specs with
+/// [`ProtocolRegistry::get`].
+pub fn registry() -> ProtocolRegistry {
+    let mut r = base_registry();
+    r.register(
+        "trivial_bfs",
+        "Section 4.3 wavefront BFS from node 0; depth=D bounds the horizon (default n)",
+        |params| {
+            params.ensure_known_keys(&["depth"])?;
+            let depth = params.get_opt_u64("depth")?;
+            if depth == Some(0) {
+                return Err(params.invalid("parameter depth must be ≥ 1"));
+            }
+            Ok(Box::new(TrivialBfsProtocol { depth, cd: false }))
+        },
+    );
+    r.register(
+        "trivial_bfs_cd",
+        "the wavefront + collision-detection verdicts (noise settles, all-silence halts)",
+        |params| {
+            params.ensure_known_keys(&["depth"])?;
+            let depth = params.get_opt_u64("depth")?;
+            if depth == Some(0) {
+                return Err(params.invalid("parameter depth must be ≥ 1"));
+            }
+            Ok(Box::new(TrivialBfsProtocol { depth, cd: true }))
+        },
+    );
+    r.register(
+        "decay_bfs",
+        "unbounded wavefront BFS; advances until a sweep settles nothing new",
+        |params| {
+            params.ensure_known_keys(&[])?;
+            Ok(Box::new(DecayBfsProtocol))
+        },
+    );
+    r.register(
+        "recursive",
+        "recursive sub-polynomial-energy BFS (Section 4); b=1/β override, eps=β exponent \
+         (default 0.5 ⇒ 1/β ≈ √D), d=hierarchy depth (default 1)",
+        |params| {
+            params.ensure_known_keys(&["b", "eps", "d"])?;
+            let inv_beta = params.get_opt_u64("b")?;
+            if inv_beta == Some(0) {
+                return Err(params.invalid("parameter b must be ≥ 1"));
+            }
+            let eps = params.get_f64("eps", 0.5)?;
+            if !(0.0..=1.0).contains(&eps) {
+                return Err(params.invalid("parameter eps must be in [0, 1]"));
+            }
+            let max_depth = params.get_u64("d", 1)?;
+            if max_depth == 0 {
+                return Err(params.invalid("parameter d must be ≥ 1"));
+            }
+            Ok(Box::new(RecursiveBfsProtocol {
+                inv_beta,
+                eps,
+                max_depth: max_depth as usize,
+            }))
+        },
+    );
+    r
+}
+
+/// The trivial wavefront BFS (Section 4.3) as a [`Protocol`]; with `cd` it
+/// runs the collision-detection variant and requires a CD-capable stack.
+///
+/// Depth defaults to `n` (the historical scenario-runner horizon: on a
+/// connected graph the wavefront halts by eccentricity anyway). Sources and
+/// seed come from the [`ProtocolInput`]; the active set is the full vertex
+/// set — callers needing a restricted wavefront use the free functions,
+/// which stay public precisely for composition inside larger algorithms.
+#[derive(Clone, Debug)]
+pub struct TrivialBfsProtocol {
+    /// Explicit depth bound; `None` defers to the input/default.
+    pub depth: Option<u64>,
+    /// Run the CD-exploiting variant ([`trivial_bfs_cd_with_frame`]).
+    pub cd: bool,
+}
+
+impl Protocol for TrivialBfsProtocol {
+    fn name(&self) -> ProtocolId {
+        let base = if self.cd {
+            "trivial_bfs_cd"
+        } else {
+            "trivial_bfs"
+        };
+        match self.depth {
+            None => ProtocolId::new(base),
+            Some(d) => ProtocolId::new(format!("{base}_d{d}")),
+        }
+    }
+
+    fn requires(&self) -> radio_protocols::Capabilities {
+        let mut req = radio_protocols::Capabilities::baseline();
+        if self.cd {
+            req.collision_detection = CollisionDetection::Receiver;
+        }
+        req
+    }
+
+    fn execute(
+        &self,
+        net: &mut dyn RadioStack,
+        input: &ProtocolInput,
+        frame: &mut LbFrame,
+    ) -> ProtocolOutput {
+        let n = net.num_nodes();
+        let depth = self.depth.or(input.depth).unwrap_or(n as u64);
+        let active = vec![true; n];
+        let result = if self.cd {
+            trivial_bfs_cd_with_frame(net, &input.sources, &active, depth, frame)
+        } else {
+            trivial_bfs_with_frame(net, &input.sources, &active, depth, frame)
+        };
+        ProtocolOutput::Distances(result.dist)
+    }
+}
+
+/// The unbounded Decay-style wavefront BFS as a [`Protocol`]. Single-source
+/// (the first input source). `ProtocolInput::depth` is deliberately
+/// ignored: the decay wavefront is by definition bound-free (it stops when
+/// a sweep settles nothing new) — for a depth-bounded run use
+/// `trivial_bfs:depth=D`, which is the same wavefront with a horizon.
+#[derive(Clone, Debug)]
+pub struct DecayBfsProtocol;
+
+impl Protocol for DecayBfsProtocol {
+    fn name(&self) -> ProtocolId {
+        ProtocolId::new("decay_bfs")
+    }
+
+    fn execute(
+        &self,
+        net: &mut dyn RadioStack,
+        input: &ProtocolInput,
+        frame: &mut LbFrame,
+    ) -> ProtocolOutput {
+        let source = input.sources.first().copied().unwrap_or(0);
+        ProtocolOutput::Distances(decay_bfs_with_frame(net, source, frame).dist)
+    }
+}
+
+/// The recursive BFS of Section 4 as a [`Protocol`]: builds the cluster
+/// hierarchy (seeded from the input seed) and runs one query to the depth
+/// bound, with `1/β` tuned to the depth as the paper prescribes.
+#[derive(Clone, Debug)]
+pub struct RecursiveBfsProtocol {
+    /// Explicit `1/β`; `None` derives it from the depth via `eps`.
+    pub inv_beta: Option<u64>,
+    /// Exponent of the depth-derived tuning: `1/β ≈ D^eps`, rounded to a
+    /// power of two, at least 4. The default `0.5` is the paper's `√D`.
+    pub eps: f64,
+    /// Hierarchy depth (recursion levels).
+    pub max_depth: usize,
+}
+
+impl RecursiveBfsProtocol {
+    fn config_for(&self, depth: u64, seed: u64) -> RecursiveBfsConfig {
+        let inv_beta = self.inv_beta.unwrap_or_else(|| {
+            // `sqrt` (not `powf(0.5)`) on the default path: it is the exact
+            // expression the scenario runner always used, and the two can
+            // differ in the last ulp — which would flip `round` and silently
+            // perturb the pinned sweep JSON.
+            let base = if self.eps == 0.5 {
+                (depth as f64).sqrt()
+            } else {
+                (depth as f64).powf(self.eps)
+            };
+            (base.round() as u64).next_power_of_two().max(4)
+        });
+        RecursiveBfsConfig {
+            inv_beta,
+            max_depth: self.max_depth,
+            trivial_cutoff: inv_beta,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+impl Protocol for RecursiveBfsProtocol {
+    fn name(&self) -> ProtocolId {
+        let mut label = String::from("recursive_bfs");
+        if let Some(b) = self.inv_beta {
+            label.push_str(&format!("_b{b}"));
+        } else if self.eps != 0.5 {
+            label.push_str(&format!("_eps{}", self.eps));
+        }
+        if self.max_depth != 1 {
+            label.push_str(&format!("_d{}", self.max_depth));
+        }
+        ProtocolId::new(label)
+    }
+
+    fn execute(
+        &self,
+        net: &mut dyn RadioStack,
+        input: &ProtocolInput,
+        frame: &mut LbFrame,
+    ) -> ProtocolOutput {
+        let _ = frame; // the recursion owns one frame per level
+        let n = net.num_nodes();
+        let depth = input.depth.unwrap_or((n as u64).saturating_sub(1));
+        let config = self.config_for(depth, input.seed);
+        let hierarchy = build_hierarchy(net, &config);
+        let result =
+            recursive_bfs_with_hierarchy(net, &hierarchy, &input.sources, depth, &config, &[]);
+        ProtocolOutput::Distances(result.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_graph::generators;
+    use radio_protocols::{ProtocolError, StackBuilder};
+    use radio_sim::EnergyModel;
+
+    #[test]
+    fn registry_knows_all_six_protocol_families() {
+        let r = registry();
+        assert_eq!(
+            r.known(),
+            vec![
+                "clustering",
+                "lb_sweep",
+                "trivial_bfs",
+                "trivial_bfs_cd",
+                "decay_bfs",
+                "recursive"
+            ]
+        );
+        assert_eq!(r.get("trivial_bfs").unwrap().name(), "trivial_bfs");
+        assert_eq!(r.get("trivial_bfs_cd").unwrap().name(), "trivial_bfs_cd");
+        assert_eq!(r.get("decay_bfs").unwrap().name(), "decay_bfs");
+        assert_eq!(r.get("recursive").unwrap().name(), "recursive_bfs");
+        assert_eq!(r.get("recursive:b=8").unwrap().name(), "recursive_bfs_b8");
+        assert_eq!(
+            r.get("trivial_bfs:depth=5").unwrap().name(),
+            "trivial_bfs_d5"
+        );
+    }
+
+    #[test]
+    fn zero_valued_knobs_are_rejected_not_reinterpreted() {
+        // 0 is not a sentinel: depth=0 must not mean "unbounded", d=0 must
+        // not clamp to 1, b=0 must not mean "derive from depth".
+        let r = registry();
+        for spec in [
+            "trivial_bfs:depth=0",
+            "trivial_bfs_cd:depth=0",
+            "recursive:b=0",
+            "recursive:d=0",
+        ] {
+            assert!(
+                matches!(r.get(spec), Err(ProtocolError::InvalidSpec { .. })),
+                "{spec} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_dispatch_matches_direct_trivial_bfs() {
+        let g = generators::grid(6, 6);
+        let report = {
+            let mut net = StackBuilder::new(g.clone()).with_seed(3).build();
+            registry()
+                .get("trivial_bfs")
+                .unwrap()
+                .run(&mut net, &ProtocolInput::from_seed(3))
+                .unwrap()
+        };
+        let mut net = StackBuilder::new(g.clone()).with_seed(3).build();
+        let active = vec![true; g.num_nodes()];
+        let direct = crate::baseline::trivial_bfs(&mut net, &[0], &active, g.num_nodes() as u64);
+        assert_eq!(report.output.distances().unwrap(), &direct.dist[..]);
+        assert_eq!(report.energy, net.energy_view());
+        assert_eq!(report.outcome(), g.num_nodes() as u64);
+    }
+
+    #[test]
+    fn registry_dispatch_matches_direct_recursive_bfs() {
+        let g = generators::path(96);
+        let seed = 5u64;
+        let report = {
+            let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
+            registry()
+                .get("recursive")
+                .unwrap()
+                .run(&mut net, &ProtocolInput::from_seed(seed))
+                .unwrap()
+        };
+        // The exact historical derivation the scenario runner used.
+        let depth = 95u64;
+        let inv_beta = ((depth as f64).sqrt().round() as u64)
+            .next_power_of_two()
+            .max(4);
+        let config = RecursiveBfsConfig {
+            inv_beta,
+            max_depth: 1,
+            trivial_cutoff: inv_beta,
+            seed,
+            ..Default::default()
+        };
+        let mut net = StackBuilder::new(g).with_seed(seed).build();
+        let hierarchy = build_hierarchy(&mut net, &config);
+        let direct = recursive_bfs_with_hierarchy(&mut net, &hierarchy, &[0], depth, &config, &[]);
+        assert_eq!(report.output.distances().unwrap(), &direct.dist[..]);
+        assert_eq!(report.energy, net.energy_view());
+    }
+
+    #[test]
+    fn cd_protocol_rejects_stacks_without_cd_with_a_typed_error() {
+        // The conformance contract: a `physical` stack lacking CD gets a
+        // typed MissingCapability error — no panic, no Local-Broadcast.
+        let g = generators::path(6);
+        let proto = registry().get("trivial_bfs_cd").unwrap();
+        for (label, mut stack) in [
+            ("abstract", StackBuilder::new(g.clone()).build()),
+            (
+                "physical",
+                StackBuilder::new(g.clone())
+                    .physical(EnergyModel::Uniform)
+                    .build(),
+            ),
+        ] {
+            match proto.run(&mut stack, &ProtocolInput::default()) {
+                Err(ProtocolError::MissingCapability {
+                    protocol,
+                    available,
+                    ..
+                }) => {
+                    assert_eq!(protocol, "trivial_bfs_cd");
+                    assert_eq!(available, label);
+                }
+                Ok(_) => panic!("{label}: ran without CD"),
+                Err(e) => panic!("{label}: wrong error {e}"),
+            }
+            assert_eq!(stack.lb_time(), 0, "{label}: gate fired too late");
+        }
+        // And both CD-capable backends pass the gate.
+        for mut stack in [
+            StackBuilder::new(g.clone()).with_cd().build(),
+            StackBuilder::new(g)
+                .physical(EnergyModel::Uniform)
+                .with_cd()
+                .build(),
+        ] {
+            let report = proto.run(&mut stack, &ProtocolInput::default()).unwrap();
+            assert_eq!(report.outcome(), 6);
+        }
+    }
+
+    #[test]
+    fn decay_bfs_protocol_labels_a_cycle_fully() {
+        let g = generators::cycle(17);
+        let mut net = StackBuilder::new(g).build();
+        let report = registry()
+            .get("decay_bfs")
+            .unwrap()
+            .run(&mut net, &ProtocolInput::default())
+            .unwrap();
+        assert_eq!(report.outcome(), 17);
+        assert!(report.lb_calls() >= 8);
+    }
+}

@@ -121,6 +121,43 @@ proptest! {
     }
 
     #[test]
+    fn cd_wavefront_equals_plain_wavefront_on_reliable_stacks(
+        g in arb_connected_graph(),
+        src in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        // trivial_bfs_cd on a reliable CD stack: identical labels, identical
+        // call count, and never more LB-unit energy than the no-CD twin —
+        // across random connected graphs, sources, and stack seeds.
+        use energy_bfs::baseline::trivial_bfs_cd;
+        use radio_protocols::RadioStack;
+        let n = g.num_nodes();
+        let source = src % n;
+        let active = vec![true; n];
+        let mut plain = StackBuilder::new(g.clone()).with_seed(seed).build();
+        let want = trivial_bfs(&mut plain, &[source], &active, n as u64);
+        let mut cd = StackBuilder::new(g.clone()).with_cd().with_seed(seed).build();
+        let got = trivial_bfs_cd(&mut cd, &[source], &active, n as u64);
+        prop_assert_eq!(&got.dist, &want.dist);
+        prop_assert_eq!(got.calls, want.calls);
+        for v in 0..n {
+            prop_assert!(
+                cd.lb_energy(v) <= plain.lb_energy(v),
+                "vertex {} paid more with CD ({} > {})",
+                v, cd.lb_energy(v), plain.lb_energy(v)
+            );
+        }
+        // And against the centralized reference, for exactness.
+        let truth = bfs_distances(&g, source);
+        for (v, &found) in got.dist.iter().enumerate() {
+            match found {
+                Some(d) => prop_assert_eq!(d, truth[v] as u64),
+                None => prop_assert_eq!(truth[v], INFINITY),
+            }
+        }
+    }
+
+    #[test]
     fn recursive_bfs_matches_centralized_reference(g in arb_connected_graph(), src in 0usize..40, seed in 0u64..1000) {
         let n = g.num_nodes();
         let source = src % n;

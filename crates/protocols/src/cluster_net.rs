@@ -24,7 +24,7 @@ use crate::clustering::ClusterState;
 use crate::lb::LbFrame;
 use crate::ledger::LbLedger;
 use crate::message::Msg;
-use crate::stack::{Capabilities, RadioStack};
+use crate::stack::{Capabilities, EnergyView, RadioStack};
 
 /// A virtual radio network whose nodes are the clusters of a
 /// [`ClusterState`] over some parent [`RadioStack`].
@@ -79,10 +79,27 @@ impl<'a> VirtualClusterNet<'a> {
         &self.ledger
     }
 
-    /// Mutable access to the parent network (e.g. to interleave real and
-    /// virtual phases, as the recursive BFS does).
-    pub fn parent_mut(&mut self) -> &mut dyn RadioStack {
-        self.parent
+    /// The parent's capability descriptor. Note the contrast with
+    /// [`RadioStack::capabilities`] *on this net*, which always reports the
+    /// plain no-CD abstraction: the virtual layer cannot propagate channel
+    /// verdicts through cluster centers, whatever the parent can do.
+    pub fn parent_capabilities(&self) -> Capabilities {
+        self.parent.capabilities()
+    }
+
+    /// A read-only snapshot of the parent's energy counters — for measuring
+    /// what a sequence of virtual calls costs the real devices (the
+    /// equation (3) accounting), without handing out the parent itself.
+    ///
+    /// This deliberately replaces the old `parent_mut` accessor: exposing
+    /// `&mut dyn RadioStack` let callers issue raw Local-Broadcasts on the
+    /// parent mid-virtual-call, bypassing the cast discipline and the
+    /// capability checks of [`crate::protocol::Protocol::run`]. Interleaved
+    /// real/virtual phases (as in the recursive BFS) should instead hold the
+    /// parent themselves and scope the `VirtualClusterNet` borrow to the
+    /// virtual phase.
+    pub fn parent_energy_view(&self) -> EnergyView {
+        self.parent.energy_view()
     }
 }
 
@@ -290,6 +307,33 @@ mod tests {
                 "vertex {v} paid {used} parent participations for one virtual call (budget {budget})"
             );
         }
+    }
+
+    #[test]
+    fn parent_accessors_expose_counters_and_capabilities_read_only() {
+        // The narrowed replacement for the old `parent_mut`: mid-virtual-
+        // phase callers can observe the parent's energy and capabilities but
+        // cannot issue raw parent Local-Broadcasts around the cast
+        // discipline.
+        let g = generators::grid(8, 8);
+        let (mut net, state) = setup(g.clone(), 3, 6);
+        let quotient = state.quotient_graph(&g);
+        if quotient.num_edges() == 0 {
+            return;
+        }
+        let (a, b) = quotient.edges().next().unwrap();
+        let mut virt = VirtualClusterNet::new(&mut net, &state);
+        assert!(!virt.parent_capabilities().physical);
+        assert!(virt.parent_capabilities().ledger);
+        let before = virt.parent_energy_view();
+        let _ = local_broadcast_once(&mut virt, &[(a, Msg::words(&[9]))], &[b]);
+        let spent = virt.parent_energy_view().diff(&before);
+        // The virtual call charged real devices (down-cast + crossing call +
+        // up-cast), all visible through the read-only view.
+        assert!(spent.lb_time() >= 1);
+        assert!(spent.max_lb_energy() >= 1);
+        // The virtual layer itself still reports the plain abstraction.
+        assert!(!virt.capabilities().collision_detection.is_receiver());
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //!   the recursive BFS of Section 4 call itself on `G*`;
 //! * [`aggregate`] / [`broadcast`] / [`leader`] — the Find-Minimum /
 //!   Find-Maximum, layered broadcast, and leader-election subroutines used
-//!   by the diameter algorithms of Section 5.1.
+//!   by the diameter algorithms of Section 5.1;
+//! * [`protocol`] — the first-class [`Protocol`] trait and the
+//!   [`ProtocolRegistry`] resolving string specs (`clustering:b=4`,
+//!   `lb_sweep:r=16`, and — via `energy-bfs` — the BFS drivers) into boxed
+//!   protocols with capability gating and unified [`ProtocolReport`]
+//!   telemetry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +48,7 @@ pub mod lb;
 pub mod leader;
 pub mod ledger;
 pub mod message;
+pub mod protocol;
 pub mod stack;
 
 pub use cluster_net::VirtualClusterNet;
@@ -50,6 +56,10 @@ pub use clustering::{cluster_distributed, ClusterState, ClusteringConfig};
 pub use lb::{local_broadcast_once, AbstractLbNetwork, LbFrame, PhysicalLbNetwork};
 pub use ledger::LbLedger;
 pub use message::Msg;
+pub use protocol::{
+    Protocol, ProtocolError, ProtocolId, ProtocolInput, ProtocolOutput, ProtocolRegistry,
+    ProtocolReport,
+};
 pub use stack::{Capabilities, EnergyView, RadioStack, Stack, StackBuilder};
 // Re-exported so protocol callers can build stacks and cast/sweep inputs
 // without depending on `radio-sim` directly.

@@ -72,6 +72,52 @@ pub struct Capabilities {
 }
 
 impl Capabilities {
+    /// The empty requirement/weakest capability set: no collision detection,
+    /// uniform energy model, no physical counters, no ledger. As a
+    /// [`crate::protocol::Protocol::requires`] descriptor this means "runs
+    /// on any stack"; every concrete stack satisfies it.
+    pub fn baseline() -> Self {
+        Capabilities {
+            collision_detection: CollisionDetection::None,
+            energy_model: EnergyModel::Uniform,
+            physical: false,
+            ledger: false,
+        }
+    }
+
+    /// Whether a stack with these capabilities satisfies `required`,
+    /// interpreting `required` field-wise as lower bounds: receiver-side
+    /// collision detection, physical counters, and the ledger are required
+    /// only when set in `required`; the energy model is descriptive, never a
+    /// requirement (any model satisfies any other).
+    pub fn satisfies(&self, required: &Capabilities) -> bool {
+        (!required.collision_detection.is_receiver() || self.collision_detection.is_receiver())
+            && (!required.physical || self.physical)
+            && (!required.ledger || self.ledger)
+    }
+
+    /// A human-readable rendering of these capabilities *as a requirement*,
+    /// for [`crate::protocol::ProtocolError::MissingCapability`] messages.
+    /// Every required component is named, so the message points at the
+    /// right builder call whichever field actually failed the gate.
+    pub fn requirement_label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.collision_detection.is_receiver() {
+            parts.push("receiver-side collision detection (build the stack `with_cd()`)");
+        }
+        if self.physical {
+            parts.push("slot-level physical counters (a `physical(...)` stack)");
+        }
+        if self.ledger {
+            parts.push("per-node LB accounting (a stack built with its ledger)");
+        }
+        if parts.is_empty() {
+            "no particular capabilities".to_string()
+        } else {
+            parts.join(" plus ")
+        }
+    }
+
     /// A compact label, e.g. `abstract`, `physical`, `physical_cd` — used by
     /// scenario records and capability tables.
     pub fn label(&self) -> String {

@@ -306,4 +306,84 @@ proptest! {
             );
         }
     }
+
+    /// The capability lattice honoured by the protocol gate, across the
+    /// whole builder matrix: every stack satisfies the baseline (empty)
+    /// requirement and its own capabilities; a receiver-CD requirement is
+    /// satisfied exactly by the `with_cd()` stacks; and the gate in
+    /// `Protocol::run` agrees with `Capabilities::satisfies` — refusing
+    /// with the typed error before any Local-Broadcast, never panicking.
+    #[test]
+    fn capability_gate_agrees_with_the_satisfies_lattice(
+        g in arb_connected_graph(),
+        backend_pick in 0u8..4,
+        require_cd in any::<bool>(),
+    ) {
+        use radio_protocols::protocol::{
+            Protocol, ProtocolError, ProtocolId, ProtocolInput, ProtocolOutput,
+        };
+        use radio_protocols::{Capabilities, LbFrame, RadioStack};
+        use radio_sim::{CollisionDetection, EnergyModel};
+
+        struct Probe {
+            required: Capabilities,
+        }
+        impl Protocol for Probe {
+            fn name(&self) -> ProtocolId {
+                ProtocolId::new("probe")
+            }
+            fn requires(&self) -> Capabilities {
+                self.required
+            }
+            fn execute(
+                &self,
+                net: &mut dyn RadioStack,
+                _input: &ProtocolInput,
+                frame: &mut LbFrame,
+            ) -> ProtocolOutput {
+                frame.clear();
+                frame.add_sender(0, Msg::words(&[1]));
+                for v in 1..net.num_nodes() {
+                    frame.add_receiver(v);
+                }
+                net.local_broadcast(frame);
+                ProtocolOutput::Deliveries(frame.delivered().len() as u64)
+            }
+        }
+
+        let builder = StackBuilder::new(g.clone());
+        let builder = match backend_pick % 2 {
+            0 => builder,
+            _ => builder.physical(EnergyModel::Uniform),
+        };
+        let mut stack = if backend_pick >= 2 {
+            builder.with_cd().build()
+        } else {
+            builder.build()
+        };
+        let caps = stack.capabilities();
+
+        // Lattice laws.
+        prop_assert!(caps.satisfies(&Capabilities::baseline()));
+        prop_assert!(caps.satisfies(&caps));
+        let mut cd_req = Capabilities::baseline();
+        cd_req.collision_detection = CollisionDetection::Receiver;
+        prop_assert_eq!(caps.satisfies(&cd_req), backend_pick >= 2);
+
+        // Gate agreement.
+        let required = if require_cd { cd_req } else { Capabilities::baseline() };
+        let probe = Probe { required };
+        match probe.run(&mut stack, &ProtocolInput::default()) {
+            Ok(report) => {
+                prop_assert!(caps.satisfies(&required));
+                prop_assert_eq!(report.lb_calls(), 1);
+            }
+            Err(ProtocolError::MissingCapability { available, .. }) => {
+                prop_assert!(!caps.satisfies(&required));
+                prop_assert_eq!(available, caps.label());
+                prop_assert_eq!(stack.lb_time(), 0, "gate fired after a call");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+        }
+    }
 }

@@ -118,9 +118,14 @@ impl<M> Feedback<M> {
 /// Backends without collision detection leave the lane empty (a receiver
 /// learns nothing beyond its `delivered` entry). Collision-detection-capable
 /// backends record, for every receiver, what the channel revealed over the
-/// whole call — which is what lets protocols branch on CD (e.g. a receiver
-/// that observed [`LbFeedback::Silence`] knows it has no sending neighbour
-/// and can skip listening in subsequent calls).
+/// whole call — which is what lets protocols branch on CD. A
+/// [`LbFeedback::Silence`] verdict proves the receiver had no sending
+/// neighbour *in that call*; what that licenses is protocol-specific (for
+/// an exact wavefront BFS a single silence only rules out the one distance
+/// that call would have settled anyway — the sound exploitations are
+/// `Noise`-as-information and all-silent-round termination, see
+/// `energy-bfs`'s `trivial_bfs_cd`), while a [`LbFeedback::Noise`] verdict
+/// proves a sending neighbour existed even though nothing was decoded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LbFeedback {
     /// A message was received (it is in the frame's `delivered` arena).

@@ -10,26 +10,35 @@
 //! cargo run --release --example cluster_anatomy
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use radio_energy::bfs::metrics::format_table;
+use radio_energy::bfs::protocol::registry;
 use radio_energy::graph::cluster_graph::{distance_proxy_stats, ClusterGraph};
 use radio_energy::graph::generators;
-use radio_energy::protocols::{cluster_distributed, ClusteringConfig, RadioStack, StackBuilder};
+use radio_energy::protocols::{ProtocolInput, RadioStack, StackBuilder};
 
 fn main() {
-    let mut rng = ChaCha8Rng::seed_from_u64(3);
     let g = generators::grid(30, 30);
     let n = g.num_nodes();
     println!("graph: 30x30 grid, {n} vertices, {} edges", g.num_edges());
     println!();
 
+    let registry = registry();
     let mut rows = Vec::new();
-    for inv_beta in [2u64, 4, 8, 16] {
-        let cfg = ClusteringConfig::new(inv_beta);
+    for (i, inv_beta) in [2u64, 4, 8, 16].into_iter().enumerate() {
+        // The distributed clustering through the registry: the spec carries
+        // the β parameter, the input carries the tag seed.
+        let protocol = registry
+            .get(&format!("clustering:b={inv_beta}"))
+            .expect("spec resolves");
         let mut net = StackBuilder::new(g.clone()).build();
-        let state = cluster_distributed(&mut net, &cfg, &mut rng);
+        let report = protocol
+            .run(&mut net, &ProtocolInput::from_seed(3 + i as u64))
+            .expect("abstract stacks satisfy every requirement");
+        let state = report
+            .output
+            .clustering()
+            .expect("clustering protocols output a ClusterState")
+            .clone();
         state
             .validate()
             .expect("distributed clustering is structurally valid");

@@ -11,12 +11,12 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use radio_energy::bfs::baseline::trivial_bfs;
 use radio_energy::bfs::metrics::{format_table, EnergySummary};
+use radio_energy::bfs::protocol::registry;
 use radio_energy::bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_energy::graph::bfs::bfs_distances;
 use radio_energy::graph::generators;
-use radio_energy::protocols::StackBuilder;
+use radio_energy::protocols::{ProtocolInput, StackBuilder};
 
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(2020);
@@ -64,11 +64,21 @@ fn main() {
         graph.num_nodes()
     );
 
-    // Baseline: the trivial always-listening wavefront BFS.
+    // Baseline: the trivial always-listening wavefront BFS, dispatched
+    // through the protocol registry — the same surface the scenario sweep
+    // uses, so the report's energy view is directly comparable.
     let mut baseline_net = StackBuilder::new(graph.clone()).build();
-    let active = vec![true; graph.num_nodes()];
-    let _ = trivial_bfs(&mut baseline_net, &[source], &active, depth);
-    let baseline = EnergySummary::of(&baseline_net);
+    let report = registry()
+        .get("trivial_bfs")
+        .expect("registered")
+        .run(
+            &mut baseline_net,
+            &ProtocolInput::from_seed(7)
+                .with_sources(vec![source])
+                .with_depth(depth),
+        )
+        .expect("abstract stacks satisfy every requirement");
+    let baseline = EnergySummary::of_report(&report);
 
     let rows = vec![
         vec![

@@ -28,15 +28,17 @@ pub use radio_sim as sim;
 
 /// Convenience prelude for examples and quick experiments.
 pub mod prelude {
-    pub use energy_bfs::baseline::{decay_bfs, trivial_bfs};
+    pub use energy_bfs::baseline::{decay_bfs, trivial_bfs, trivial_bfs_cd};
     pub use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
+    pub use energy_bfs::protocol::registry;
     pub use energy_bfs::{
         build_hierarchy, recursive_bfs, recursive_bfs_with_hierarchy, BfsOutcome, EnergySummary,
         RecursiveBfsConfig,
     };
     pub use radio_graph::{generators, Graph, GraphBuilder};
     pub use radio_protocols::{
-        Capabilities, EnergyView, RadioStack, Stack, StackBuilder, VirtualClusterNet,
+        Capabilities, EnergyView, Protocol, ProtocolError, ProtocolInput, ProtocolReport,
+        RadioStack, Stack, StackBuilder, VirtualClusterNet,
     };
     pub use radio_sim::{CollisionDetection, EnergyMeter, EnergyModel, LbFeedback, RadioNetwork};
 }
@@ -47,9 +49,16 @@ mod tests {
     fn prelude_re_exports_compile_and_link() {
         use crate::prelude::*;
         let g = generators::path(4);
-        let net = StackBuilder::new(g).build();
+        let mut net = StackBuilder::new(g).build();
         assert_eq!(net.num_nodes(), 4);
         assert!(!net.capabilities().collision_detection.is_receiver());
         let _ = RecursiveBfsConfig::default();
+        // The protocol surface rides along: one registry dispatch end to end.
+        let report = registry()
+            .get("trivial_bfs")
+            .expect("registered")
+            .run(&mut net, &ProtocolInput::default())
+            .expect("abstract stack satisfies everything");
+        assert_eq!(report.outcome(), 4);
     }
 }

@@ -198,6 +198,61 @@ fn parallel_scenario_runner_is_thread_count_invariant_on_the_default_sweep() {
 }
 
 #[test]
+fn registry_dispatched_protocols_are_seed_deterministic_across_runs() {
+    // The Protocol surface on top of the stacks: resolving a spec and
+    // running it twice with the same seed must reproduce the full report —
+    // payload, outcome, and every energy counter — on both the abstract and
+    // the physical-CD backend (the latter exercising the CD wavefront's
+    // verdict handling end to end).
+    use radio_energy::bfs::protocol::registry;
+    use radio_energy::protocols::{EnergyModel, ProtocolInput};
+    let g = generators::grid(7, 7);
+    let registry = registry();
+    for spec in [
+        "trivial_bfs",
+        "trivial_bfs_cd",
+        "decay_bfs",
+        "clustering:b=3",
+    ] {
+        let run = |seed: u64, physical: bool| -> String {
+            let protocol = registry.get(spec).expect("spec resolves");
+            let builder = StackBuilder::new(g.clone()).with_seed(seed);
+            let builder = if physical {
+                builder.physical(EnergyModel::Uniform)
+            } else {
+                builder
+            };
+            let mut net = if physical || protocol.requires().collision_detection.is_receiver() {
+                builder.with_cd().build()
+            } else {
+                builder.build()
+            };
+            let report = protocol
+                .run(&mut net, &ProtocolInput::from_seed(seed))
+                .expect("capabilities satisfied");
+            format!(
+                "{} outcome {} json {} energy {:?}",
+                report.protocol,
+                report.outcome(),
+                report.to_json(),
+                (0..g.num_nodes())
+                    .map(|v| report.energy.lb_energy(v))
+                    .collect::<Vec<_>>()
+            )
+        };
+        for seed in SEEDS {
+            for physical in [false, true] {
+                assert_eq!(
+                    run(seed, physical),
+                    run(seed, physical),
+                    "{spec} diverged for seed {seed} (physical={physical})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn physical_cd_stack_is_seed_deterministic_across_runs() {
     // The same guarantee one layer up: a physical_cd stack driving the
     // CD-aware decay through the RadioStack surface, including the unified

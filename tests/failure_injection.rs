@@ -64,6 +64,38 @@ fn broadcast_degrades_gracefully_and_never_corrupts() {
     );
 }
 
+/// The CD wavefront under heavy loss, dispatched through the registry: a
+/// failed delivery surfaces as a `Noise` verdict, which pins the distance
+/// exactly (a sending neighbour exists at the current step), so
+/// `trivial_bfs_cd` recovers the *exact* labelling at loss rates where the
+/// no-CD wavefront visibly degrades.
+#[test]
+fn cd_wavefront_is_exact_under_heavy_loss() {
+    use radio_energy::bfs::protocol::registry;
+    use radio_energy::protocols::ProtocolInput;
+    let g = generators::grid(8, 8);
+    let truth = bfs_distances(&g, 0);
+    let protocol = registry().get("trivial_bfs_cd").expect("spec resolves");
+    for seed in 0..4u64 {
+        let mut net = StackBuilder::new(g.clone())
+            .with_cd()
+            .with_failures(0.5)
+            .with_seed(seed)
+            .build();
+        let report = protocol
+            .run(&mut net, &ProtocolInput::from_seed(seed))
+            .expect("abstract_cd satisfies the CD requirement");
+        let dist = report.output.distances().expect("BFS output");
+        for v in g.nodes() {
+            assert_eq!(
+                dist[v],
+                Some(truth[v] as u64),
+                "seed {seed}: vertex {v} mislabelled despite CD recovery"
+            );
+        }
+    }
+}
+
 /// The trivial wavefront BFS with loss: settled distances are never wrong
 /// (they can only be missing or — when a shorter path's message was lost —
 /// overestimated is impossible because a vertex only adopts a value the

@@ -3,10 +3,13 @@
 //! together the way a deployment would compose them.
 
 use radio_energy::bfs::baseline::{decay_bfs, trivial_bfs};
+use radio_energy::bfs::protocol::registry;
 use radio_energy::bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
 use radio_energy::graph::bfs::bfs_distances;
 use radio_energy::graph::generators;
-use radio_energy::protocols::{EnergyModel, RadioStack, StackBuilder};
+use radio_energy::protocols::{
+    EnergyModel, ProtocolError, ProtocolInput, RadioStack, StackBuilder,
+};
 
 /// The recursive BFS, run end-to-end on the *physical* backend: every
 /// Local-Broadcast expands into Decay slots with real collisions, and the
@@ -125,6 +128,93 @@ fn baseline_and_recursive_bfs_agree_on_labels() {
     }
     // Baseline: the farthest vertex listened in every sweep.
     assert_eq!(baseline_net.max_lb_energy(), depth);
+}
+
+/// The whole registry, end to end on the physical simulator: every
+/// registered spec resolves, passes its capability gate on a suitably built
+/// stack, labels/clusters/delivers something sensible, and reports
+/// slot-level energy through the unified report.
+#[test]
+fn every_registered_protocol_runs_end_to_end_on_the_physical_backend() {
+    let g = generators::grid(8, 8);
+    let registry = registry();
+    for spec in [
+        "trivial_bfs",
+        "trivial_bfs_cd",
+        "decay_bfs",
+        "recursive",
+        "clustering:b=4",
+        "lb_sweep:r=8",
+    ] {
+        let protocol = registry.get(spec).expect("spec resolves");
+        let builder = StackBuilder::new(g.clone())
+            .physical(EnergyModel::Uniform)
+            .with_seed(13);
+        let mut stack = if protocol.requires().collision_detection.is_receiver() {
+            builder.with_cd().build()
+        } else {
+            builder.build()
+        };
+        let report = protocol
+            .run(&mut stack, &ProtocolInput::from_seed(13))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(report.outcome() >= 1, "{spec}: empty outcome");
+        assert!(report.lb_calls() >= 1, "{spec}: no Local-Broadcasts");
+        assert!(
+            report.energy.max_physical_energy().unwrap() > 0,
+            "{spec}: no slot-level energy on a physical stack"
+        );
+        if let Some(dist) = report.output.distances() {
+            let truth = bfs_distances(&g, 0);
+            let correct = g
+                .nodes()
+                .filter(|&v| dist[v] == Some(truth[v] as u64))
+                .count();
+            assert!(
+                correct + 2 >= g.num_nodes(),
+                "{spec}: only {correct}/{} labels correct",
+                g.num_nodes()
+            );
+        }
+    }
+}
+
+/// The capability gate across the whole backend matrix: the CD wavefront
+/// refuses `abstract` and `physical` stacks with a typed error (never a
+/// panic) and runs on `abstract_cd` and `physical_cd`.
+#[test]
+fn cd_capability_gate_spans_the_backend_matrix() {
+    let g = generators::path(12);
+    let protocol = registry().get("trivial_bfs_cd").expect("spec resolves");
+    let build = |physical: bool, cd: bool| {
+        let b = StackBuilder::new(g.clone()).with_seed(2);
+        let b = if physical {
+            b.physical(EnergyModel::Uniform)
+        } else {
+            b
+        };
+        if cd {
+            b.with_cd().build()
+        } else {
+            b.build()
+        }
+    };
+    for (physical, label) in [(false, "abstract"), (true, "physical")] {
+        let mut refused = build(physical, false);
+        match protocol.run(&mut refused, &ProtocolInput::from_seed(2)) {
+            Err(ProtocolError::MissingCapability { available, .. }) => {
+                assert_eq!(available, label)
+            }
+            Ok(_) => panic!("{label}: ran without CD"),
+            Err(e) => panic!("{label}: wrong error {e}"),
+        }
+        assert_eq!(refused.lb_time(), 0, "{label}: gate fired after calls");
+        let mut allowed = build(physical, true);
+        let report = protocol
+            .run(&mut allowed, &ProtocolInput::from_seed(2))
+            .expect("CD stack passes");
+        assert_eq!(report.outcome(), 12);
+    }
 }
 
 /// A full-stack smoke test on the physical simulator with collision

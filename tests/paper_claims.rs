@@ -239,6 +239,75 @@ fn weighted_energy_model_matches_raw_counter_recomputation() {
     }
 }
 
+/// The E-series weight-ratio claim (the paper's "other energy models"
+/// discussion), checked through the registry surface the sweep uses: the
+/// same protocol per seed runs an identical slot schedule under the 1:1,
+/// 1:4, and 4:1 listen:transmit ratios, the weighted totals decompose as
+/// `listen_w·listens + transmit_w·transmits`, and on listen-bound
+/// wavefronts the listen-heavy radio is the most expensive of the three.
+#[test]
+fn eseries_weight_ratios_reweight_a_fixed_slot_schedule() {
+    use radio_energy::protocols::{EnergyModel, ProtocolInput};
+    let g = generators::grid(8, 8);
+    let registry = radio_energy::bfs::protocol::registry();
+    for spec in ["trivial_bfs", "decay_bfs"] {
+        let protocol = registry.get(spec).expect("spec resolves");
+        let run = |model: EnergyModel, seed: u64| {
+            let mut net = StackBuilder::new(g.clone())
+                .physical(model)
+                .with_seed(seed)
+                .build();
+            protocol
+                .run(&mut net, &ProtocolInput::from_seed(seed))
+                .expect("physical stacks satisfy the wavefront requirements")
+        };
+        for seed in 0..3u64 {
+            let uniform = run(EnergyModel::Uniform, seed);
+            let tx_heavy = run(
+                EnergyModel::Weighted {
+                    listen: 1,
+                    transmit: 4,
+                },
+                seed,
+            );
+            let rx_heavy = run(
+                EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+                seed,
+            );
+            // Identical slot schedule: the model is applied at read time.
+            assert_eq!(uniform.physical_slots(), tx_heavy.physical_slots());
+            assert_eq!(uniform.physical_slots(), rx_heavy.physical_slots());
+            assert_eq!(uniform.outcome(), tx_heavy.outcome());
+            assert_eq!(uniform.outcome(), rx_heavy.outcome());
+            // Weighted totals decompose over the raw counters.
+            for report in [&uniform, &tx_heavy, &rx_heavy] {
+                let (lw, tw) = match report.energy.energy_model() {
+                    EnergyModel::Uniform => (1, 1),
+                    EnergyModel::Weighted { listen, transmit } => (listen, transmit),
+                };
+                for v in 0..g.num_nodes() {
+                    let listens = report.energy.listen_slots(v).unwrap();
+                    let transmits = report.energy.transmit_slots(v).unwrap();
+                    assert_eq!(
+                        report.energy.physical_energy(v),
+                        Some(lw * listens + tw * transmits),
+                        "{spec} seed {seed} node {v}"
+                    );
+                }
+            }
+            // Wavefront receivers listen far more than they transmit.
+            let u = uniform.energy.max_physical_energy().unwrap();
+            let t = tx_heavy.energy.max_physical_energy().unwrap();
+            let r = rx_heavy.energy.max_physical_energy().unwrap();
+            assert!(t > u, "{spec} seed {seed}: 1:4 must exceed uniform");
+            assert!(r > t, "{spec} seed {seed}: 4:1 must dominate ({r} vs {t})");
+        }
+    }
+}
+
 /// Clustering energy matches Lemma 2.5's budget (at most the number of
 /// growth rounds, in Local-Broadcast units) on a variety of topologies.
 #[test]
