@@ -15,7 +15,7 @@ use radio_protocols::{
 fn bench_virtual_lb(c: &mut Criterion) {
     let mut group = c.benchmark_group("virtual_cluster_local_broadcast");
     group.sample_size(20);
-    for &side in &[12usize, 20, 28] {
+    for &side in &[12usize, 20, 28, 64] {
         group.bench_with_input(BenchmarkId::new("grid", side), &side, |b, &side| {
             let g = generators::grid(side, side);
             let cfg = ClusteringConfig::new(4);

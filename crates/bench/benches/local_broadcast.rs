@@ -15,7 +15,7 @@ use radio_sim::{
 fn bench_decay(c: &mut Criterion) {
     let mut group = c.benchmark_group("decay_local_broadcast");
     group.sample_size(20);
-    for &n in &[16usize, 64, 256] {
+    for &n in &[16usize, 64, 256, 4096] {
         group.bench_with_input(BenchmarkId::new("star_all_senders", n), &n, |b, &n| {
             let g = generators::star(n);
             let params = DecayParams::for_network(n, n - 1);
@@ -44,7 +44,7 @@ fn bench_decay(c: &mut Criterion) {
 fn bench_decay_cd(c: &mut Criterion) {
     let mut group = c.benchmark_group("decay_cd");
     group.sample_size(20);
-    for &n in &[64usize, 256] {
+    for &n in &[64usize, 256, 4096] {
         let g = generators::path(n);
         let params = DecayParams::for_network(n, 2);
         group.bench_with_input(BenchmarkId::new("path_no_cd", n), &n, |b, &n| {

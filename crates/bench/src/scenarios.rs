@@ -168,6 +168,12 @@ fn tree_nodes(k: usize, levels: usize) -> usize {
 pub enum StackSpec {
     /// The paper's LB-unit accounting backend.
     Abstract,
+    /// The LB-unit accounting backend with receiver-side collision
+    /// detection: deliveries are still counted abstractly (no Decay slots),
+    /// but the frame's feedback lane carries per-receiver
+    /// `Silence`/`Noise` verdicts, so CD protocols run under the paper's
+    /// analysis accounting. Records label the backend `abstract_cd`.
+    AbstractCd,
     /// The slot-accurate Decay-expanding backend; with `cd` the stack runs
     /// the CD-aware Decay variant and records fewer slots on sparse
     /// neighbourhoods. `model` weights the slot-level counters (the paper's
@@ -199,6 +205,7 @@ impl StackSpec {
         let builder = StackBuilder::new(graph).with_seed(seed);
         match self {
             StackSpec::Abstract => builder.build(),
+            StackSpec::AbstractCd => builder.with_cd().build(),
             StackSpec::Physical { cd, model } => {
                 let builder = builder.physical(*model);
                 if *cd {
@@ -715,6 +722,28 @@ pub fn default_scenarios() -> Vec<Scenario> {
             });
         }
     }
+    // PR-6 additions (append-only, after everything above): the abstract-CD
+    // backend as a sweep coordinate, exercised at the word-parallel kernel
+    // scale (grid 64×64). The twins share family, size, and seeds, so
+    // diffing the pair isolates what collision-detection feedback changes
+    // under pure LB accounting — nothing on max energy, only the early-halt
+    // round count.
+    out.push(Scenario {
+        name: "grid64-trivial-abstract".into(),
+        family: Family::Grid,
+        sizes: vec![4096],
+        seeds: seeds.clone(),
+        protocol: Protocol::TrivialBfs,
+        stack: StackSpec::Abstract,
+    });
+    out.push(Scenario {
+        name: "grid64-trivial-abstract-cd".into(),
+        family: Family::Grid,
+        sizes: vec![4096],
+        seeds,
+        protocol: Protocol::TrivialBfsCd,
+        stack: StackSpec::AbstractCd,
+    });
     out
 }
 
@@ -1110,6 +1139,54 @@ mod tests {
                 t.max_physical_energy.unwrap()
             );
         }
+    }
+
+    #[test]
+    fn abstract_cd_twins_agree_on_labels_and_accounting() {
+        // The PR-6 sweep coordinate: the CD wavefront on the abstract-CD
+        // stack is the per-seed twin of the plain wavefront on the plain
+        // abstract stack. Same distance labels, no physical columns, and
+        // the backend column reads `abstract_cd`.
+        let run = |cd: bool| {
+            run_scenario(&Scenario {
+                name: "acd".into(),
+                family: Family::Grid,
+                sizes: vec![64],
+                seeds: (0..3).collect(),
+                protocol: if cd {
+                    Protocol::TrivialBfsCd
+                } else {
+                    Protocol::TrivialBfs
+                },
+                stack: if cd {
+                    StackSpec::AbstractCd
+                } else {
+                    StackSpec::Abstract
+                },
+            })
+        };
+        for (plain, cd) in run(false).iter().zip(run(true)) {
+            assert_eq!(plain.seed, cd.seed);
+            assert_eq!(cd.backend, "abstract_cd");
+            assert_eq!(cd.energy_model, "uniform");
+            assert_eq!(plain.outcome, cd.outcome, "labels must agree");
+            assert!(cd.max_physical_energy.is_none(), "abstract has no slots");
+            // The CD wavefront halts on the first all-Silence round instead
+            // of waiting for an unproductive sweep, so it never takes longer.
+            assert!(cd.lb_calls <= plain.lb_calls);
+        }
+    }
+
+    #[test]
+    fn default_sweep_appends_the_abstract_cd_twins_at_the_end() {
+        // Order is part of the byte-stable JSON contract: the PR-6 twins
+        // must sit at the very end, after every pre-existing family.
+        let scenarios = default_scenarios();
+        let k = scenarios.len();
+        assert_eq!(scenarios[k - 2].name, "grid64-trivial-abstract");
+        assert_eq!(scenarios[k - 2].stack, StackSpec::Abstract);
+        assert_eq!(scenarios[k - 1].name, "grid64-trivial-abstract-cd");
+        assert_eq!(scenarios[k - 1].stack, StackSpec::AbstractCd);
     }
 
     #[test]

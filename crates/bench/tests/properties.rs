@@ -45,10 +45,11 @@ fn decode_scenario(
         5 => Family::Lollipop,
         _ => Family::Complete,
     };
-    let stack = match backend_pick % 5 {
+    let stack = match backend_pick % 6 {
         0 | 1 => StackSpec::Abstract,
         2 => StackSpec::physical(false),
         3 => StackSpec::physical(true),
+        4 => StackSpec::AbstractCd,
         _ => StackSpec::Physical {
             cd: true,
             model: EnergyModel::Weighted {
@@ -69,9 +70,18 @@ fn decode_scenario(
         _ => Protocol::TrivialBfsCd,
     };
     // The CD-exploiting wavefront needs a CD-capable stack — the registry's
-    // capability gate would (correctly) refuse anything else.
-    let stack = if protocol == Protocol::TrivialBfsCd {
-        StackSpec::physical(true)
+    // capability gate would (correctly) refuse anything else. Both CD-capable
+    // backends (physical and abstract) are exercised.
+    let stack = if protocol == Protocol::TrivialBfsCd
+        && !matches!(
+            stack,
+            StackSpec::AbstractCd | StackSpec::Physical { cd: true, .. }
+        ) {
+        if backend_pick.is_multiple_of(2) {
+            StackSpec::physical(true)
+        } else {
+            StackSpec::AbstractCd
+        }
     } else {
         stack
     };

@@ -15,7 +15,7 @@
 //!   `t + 1`) and retire listeners the silence record proves are beyond the
 //!   depth bound.
 
-use radio_protocols::{LbFeedback, LbFrame, Msg, RadioStack};
+use radio_protocols::{LbFeedback, LbFrame, Msg, NodeSet, RadioStack};
 
 /// Result of a wavefront BFS at the Local-Broadcast level.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,24 +58,31 @@ pub fn trivial_bfs_with_frame(
     let n = net.num_nodes();
     assert_eq!(active.len(), n);
     let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut frontier: Vec<usize> = Vec::new();
     for &s in sources {
-        if active[s] {
+        if active[s] && dist[s].is_none() {
             dist[s] = Some(0);
+            frontier.push(s);
         }
     }
+    // The listening set — active and unsettled — maintained incrementally
+    // so each round's receivers are one word-parallel copy instead of an
+    // O(n) rescan. A vertex only ever transmits in the round right after it
+    // settles, so the settled-this-round list doubles as the next frontier.
+    let mut unsettled = NodeSet::new(n);
+    for (v, &a) in active.iter().enumerate() {
+        if a && dist[v].is_none() {
+            unsettled.insert(v);
+        }
+    }
+    let mut next_frontier: Vec<usize> = Vec::new();
     let mut calls = 0u64;
     for step in 0..depth {
         frame.clear();
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            if dist[v] == Some(step) {
-                frame.add_sender(v, Msg::words(&[step]));
-            } else if dist[v].is_none() {
-                frame.add_receiver(v);
-            }
+        for &v in &frontier {
+            frame.add_sender(v, Msg::words(&[step]));
         }
+        frame.set_receivers(&unsettled);
         if frame.receivers().is_empty() {
             break;
         }
@@ -83,11 +90,15 @@ pub fn trivial_bfs_with_frame(
         // cannot know); this is what makes the trivial algorithm expensive.
         net.local_broadcast(frame);
         calls += 1;
+        next_frontier.clear();
         for (v, m) in frame.delivered().iter() {
             if dist[v].is_none() {
                 dist[v] = Some(m.word(0) + 1);
+                unsettled.remove(v);
+                next_frontier.push(v);
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
     }
     WavefrontResult { dist, calls }
 }
@@ -147,34 +158,38 @@ pub fn trivial_bfs_cd_with_frame(
          the registry path reports this as a typed ProtocolError instead"
     );
     let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut frontier: Vec<usize> = Vec::new();
     for &s in sources {
-        if active[s] {
+        if active[s] && dist[s].is_none() {
             dist[s] = Some(0);
+            frontier.push(s);
         }
     }
+    let mut unsettled = NodeSet::new(n);
+    for (v, &a) in active.iter().enumerate() {
+        if a && dist[v].is_none() {
+            unsettled.insert(v);
+        }
+    }
+    let mut next_frontier: Vec<usize> = Vec::new();
     let mut calls = 0u64;
     for step in 0..depth {
         frame.clear();
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            if dist[v] == Some(step) {
-                frame.add_sender(v, Msg::words(&[step]));
-            } else if dist[v].is_none() {
-                frame.add_receiver(v);
-            }
+        for &v in &frontier {
+            frame.add_sender(v, Msg::words(&[step]));
         }
+        frame.set_receivers(&unsettled);
         if frame.receivers().is_empty() {
             break;
         }
         net.local_broadcast(frame);
         calls += 1;
-        let mut settled_any = false;
+        next_frontier.clear();
         for (v, m) in frame.delivered().iter() {
             if dist[v].is_none() {
                 dist[v] = Some(m.word(0) + 1);
-                settled_any = true;
+                unsettled.remove(v);
+                next_frontier.push(v);
             }
         }
         // Noise verdicts: activity without a decoded payload still pins the
@@ -182,14 +197,16 @@ pub fn trivial_bfs_cd_with_frame(
         for (v, fb) in frame.feedback().iter() {
             if *fb == LbFeedback::Noise && dist[v].is_none() {
                 dist[v] = Some(step + 1);
-                settled_any = true;
+                unsettled.remove(v);
+                next_frontier.push(v);
             }
         }
         // All verdicts Silence ⇒ the frontier died; every remaining round
         // is provably dead, so the pending listeners stop here.
-        if !settled_any {
+        if next_frontier.is_empty() {
             break;
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
     }
     WavefrontResult { dist, calls }
 }
@@ -211,31 +228,38 @@ pub fn decay_bfs_with_frame(
     let n = net.num_nodes();
     let mut dist: Vec<Option<u64>> = vec![None; n];
     dist[source] = Some(0);
+    let mut frontier: Vec<usize> = vec![source];
+    let mut next_frontier: Vec<usize> = Vec::new();
+    let mut unsettled = NodeSet::new(n);
+    for v in 0..n {
+        if v != source {
+            unsettled.insert(v);
+        }
+    }
     let mut calls = 0u64;
     let mut frontier_dist = 0u64;
     loop {
         frame.clear();
-        for (v, d) in dist.iter().enumerate() {
-            if *d == Some(frontier_dist) {
-                frame.add_sender(v, Msg::words(&[frontier_dist]));
-            } else if d.is_none() {
-                frame.add_receiver(v);
-            }
+        for &v in &frontier {
+            frame.add_sender(v, Msg::words(&[frontier_dist]));
         }
+        frame.set_receivers(&unsettled);
         if frame.senders().is_empty() || frame.receivers().is_empty() {
             break;
         }
         net.local_broadcast(frame);
         calls += 1;
-        let mut settled_any = false;
+        next_frontier.clear();
         for (v, m) in frame.delivered().iter() {
             if dist[v].is_none() {
                 dist[v] = Some(m.word(0) + 1);
-                settled_any = true;
+                unsettled.remove(v);
+                next_frontier.push(v);
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
         frontier_dist += 1;
-        if !settled_any {
+        if frontier.is_empty() {
             break;
         }
     }

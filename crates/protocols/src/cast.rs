@@ -34,32 +34,81 @@ fn wrap(cluster: usize, payload: &Msg) -> Msg {
     payload.prepended(cluster as u64)
 }
 
-/// Splits a wrapped message into (cluster index, payload).
+/// Splits a wrapped message into (cluster index, payload). The hot harvest
+/// loops inline the tag check instead (cheaper on rejects); this named form
+/// documents the framing and pins it in tests.
+#[cfg(test)]
 fn unwrap(m: &Msg) -> (usize, Msg) {
     let (cluster, payload) = m.split_first();
     (cluster as usize, payload)
 }
 
-/// The step schedule of one cast: for each step `j ∈ [ℓ]` used by some
-/// participating cluster, the clusters whose `S_Cl` contains `j`. Dense over
-/// `[ℓ]`, so iteration is ascending without sorting.
-struct StepSchedule {
+/// Reusable buffers for the casts: the per-parent-node holder arena and the
+/// step → clusters schedule table.
+///
+/// Callers that issue many casts (one virtual Local-Broadcast is two) hold
+/// one of these next to their [`LbFrame`] so a cast allocates nothing; the
+/// one-shot entry points [`down_cast`] / [`up_cast`] build a fresh scratch
+/// per call instead.
+#[derive(Clone, Debug, Default)]
+pub struct CastScratch {
+    /// `holding[v]`: the payload parent node `v` currently holds.
+    holding: Vec<Option<Msg>>,
+    /// The occupied entries of `holding`, so reset is `O(|touched|)` rather
+    /// than `O(n)` per cast.
+    touched: Vec<usize>,
+    /// `clusters_at[j]`: participating clusters whose `S_Cl` contains `j`.
+    /// Dense over `[ℓ]`, so iteration is ascending without sorting.
     clusters_at: Vec<Vec<usize>>,
+    /// The steps `j` with `clusters_at[j]` non-empty, ascending.
     steps: Vec<usize>,
+    /// Down-cast only: `wrapped[c]` is `wrap(c, messages[c])`, computed once
+    /// per cast — every holder of cluster `c` sends exactly this message, so
+    /// the per-sender tag-prepend becomes a straight clone.
+    wrapped: Vec<Option<Msg>>,
 }
 
-impl StepSchedule {
-    fn build(state: &ClusterState, clusters: impl Iterator<Item = usize>) -> Self {
-        let mut clusters_at: Vec<Vec<usize>> = vec![Vec::new(); state.ell];
+impl CastScratch {
+    /// Scratch buffers for a parent network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CastScratch {
+            holding: vec![None; n],
+            touched: Vec::new(),
+            clusters_at: Vec::new(),
+            steps: Vec::new(),
+            wrapped: Vec::new(),
+        }
+    }
+
+    /// Clears the holder arena (touching only occupied entries) and ensures
+    /// it covers `n` parent nodes.
+    fn reset_holding(&mut self, n: usize) {
+        if self.holding.len() < n {
+            self.holding.resize(n, None);
+        }
+        for &v in &self.touched {
+            self.holding[v] = None;
+        }
+        self.touched.clear();
+    }
+
+    /// Rebuilds the step schedule for `clusters` in the buffers.
+    fn build_schedule(&mut self, state: &ClusterState, clusters: impl Iterator<Item = usize>) {
+        if self.clusters_at.len() < state.ell {
+            self.clusters_at.resize_with(state.ell, Vec::new);
+        }
+        for bucket in &mut self.clusters_at[..state.ell] {
+            bucket.clear();
+        }
         for c in clusters {
             for &j in &state.s_sets[c] {
-                clusters_at[j].push(c);
+                self.clusters_at[j].push(c);
             }
         }
-        let steps: Vec<usize> = (0..state.ell)
-            .filter(|&j| !clusters_at[j].is_empty())
-            .collect();
-        StepSchedule { clusters_at, steps }
+        self.steps.clear();
+        let clusters_at = &self.clusters_at;
+        self.steps
+            .extend((0..state.ell).filter(|&j| !clusters_at[j].is_empty()));
     }
 }
 
@@ -71,24 +120,38 @@ impl StepSchedule {
 /// Returns, for every node of the parent network, the payload it ended up
 /// holding (`None` for nodes of non-participating clusters, and for members
 /// the cast failed to reach, which happens only through Local-Broadcast
-/// delivery failures).
-pub fn down_cast(
+/// delivery failures). The slice borrows `scratch`'s holder arena.
+pub fn down_cast_with<'s>(
     parent: &mut dyn RadioStack,
     state: &ClusterState,
     messages: &NodeSlots<Msg>,
     frame: &mut LbFrame,
-) -> Vec<Option<Msg>> {
+    scratch: &'s mut CastScratch,
+) -> &'s [Option<Msg>] {
     let n = state.num_nodes();
     debug_assert_eq!(frame.num_nodes(), n, "cast frame must cover the parent");
-    let mut holding: Vec<Option<Msg>> = vec![None; n];
+    scratch.reset_holding(n);
     if messages.is_empty() {
-        return holding;
+        return &scratch.holding[..n];
     }
-    // Centers start out holding their message.
+    scratch.build_schedule(state, messages.keys().iter());
+    let CastScratch {
+        holding,
+        touched,
+        clusters_at,
+        steps,
+        wrapped,
+    } = scratch;
+    // Centers start out holding their message; by induction every holder of
+    // cluster `c` holds exactly `messages[c]`, so the tagged message each
+    // sender transmits is the same per cluster — wrap it once up front.
+    wrapped.clear();
+    wrapped.resize(state.num_clusters(), None);
     for (c, m) in messages.iter() {
         holding[state.centers[c]] = Some(m.clone());
+        touched.push(state.centers[c]);
+        wrapped[c] = Some(wrap(c, m));
     }
-    let schedule = StepSchedule::build(state, messages.keys().iter());
 
     let max_stage = messages
         .keys()
@@ -97,12 +160,15 @@ pub fn down_cast(
         .max()
         .unwrap_or(0);
     for stage in 1..=max_stage {
-        for &j in &schedule.steps {
+        for &j in &*steps {
             frame.clear();
-            for &c in &schedule.clusters_at[j] {
+            for &c in &clusters_at[j] {
+                let tagged = wrapped[c]
+                    .as_ref()
+                    .expect("scheduled cluster has a message");
                 for &v in state.members_at_layer(c, stage - 1) {
-                    if let Some(payload) = &holding[v] {
-                        frame.add_sender(v, wrap(c, payload));
+                    if holding[v].is_some() {
+                        frame.add_sender(v, tagged.clone());
                     }
                 }
                 for &v in state.members_at_layer(c, stage) {
@@ -114,44 +180,72 @@ pub fn down_cast(
             }
             parent.local_broadcast(frame);
             for (v, m) in frame.delivered().iter() {
-                let (c, payload) = unwrap(m);
-                if c == state.cluster_of[v] && holding[v].is_none() {
-                    holding[v] = Some(payload);
+                // Check the cluster tag before paying for the payload split.
+                if m.word(0) as usize == state.cluster_of[v] && holding[v].is_none() {
+                    holding[v] = Some(m.split_first().1);
+                    touched.push(v);
                 }
             }
         }
     }
-    holding
+    &scratch.holding[..n]
+}
+
+/// One-shot [`down_cast_with`] with a freshly allocated scratch, returning
+/// the holder arena by value. Hot paths should hold a [`CastScratch`] and
+/// call [`down_cast_with`] instead.
+pub fn down_cast(
+    parent: &mut dyn RadioStack,
+    state: &ClusterState,
+    messages: &NodeSlots<Msg>,
+    frame: &mut LbFrame,
+) -> Vec<Option<Msg>> {
+    let mut scratch = CastScratch::new(state.num_nodes());
+    down_cast_with(parent, state, messages, frame, &mut scratch);
+    scratch.holding
 }
 
 /// Up-cast: every cluster in `participating` whose members include at least
 /// one holder of a message (given in `messages`, keyed by parent node)
 /// delivers one such message to its center. `frame` is the Local-Broadcast
-/// scratch, sized for the parent network.
-///
-/// Returns the message received by each participating cluster's center,
-/// keyed by cluster index. Clusters with no holders are absent from the
-/// result.
-pub fn up_cast(
+/// scratch, sized for the parent network; `out` (over the cluster universe,
+/// cleared on entry) receives the message each participating cluster's
+/// center heard. Clusters with no holders are absent from the result.
+pub fn up_cast_into(
     parent: &mut dyn RadioStack,
     state: &ClusterState,
     participating: &NodeSet,
     messages: &NodeSlots<Msg>,
     frame: &mut LbFrame,
-) -> NodeSlots<Msg> {
+    scratch: &mut CastScratch,
+    out: &mut NodeSlots<Msg>,
+) {
     let n = state.num_nodes();
     debug_assert_eq!(frame.num_nodes(), n, "cast frame must cover the parent");
-    let mut out: NodeSlots<Msg> = NodeSlots::new(state.num_clusters());
+    debug_assert_eq!(
+        out.universe(),
+        state.num_clusters(),
+        "up-cast output must cover the clusters"
+    );
+    out.clear();
+    scratch.reset_holding(n);
     if participating.is_empty() {
-        return out;
+        return;
     }
-    let mut holding: Vec<Option<Msg>> = vec![None; n];
+    scratch.build_schedule(state, participating.iter());
+    let CastScratch {
+        holding,
+        touched,
+        clusters_at,
+        steps,
+        ..
+    } = scratch;
     for (v, m) in messages.iter() {
         if participating.contains(state.cluster_of[v]) {
             holding[v] = Some(m.clone());
+            touched.push(v);
         }
     }
-    let schedule = StepSchedule::build(state, participating.iter());
 
     let max_stage = participating
         .iter()
@@ -160,9 +254,9 @@ pub fn up_cast(
         .unwrap_or(0);
     // Stages walk from the deepest layer towards the center.
     for stage in (1..=max_stage).rev() {
-        for &j in &schedule.steps {
+        for &j in &*steps {
             frame.clear();
-            for &c in &schedule.clusters_at[j] {
+            for &c in &clusters_at[j] {
                 for &v in state.members_at_layer(c, stage) {
                     if let Some(payload) = &holding[v] {
                         frame.add_sender(v, wrap(c, payload));
@@ -177,9 +271,10 @@ pub fn up_cast(
             }
             parent.local_broadcast(frame);
             for (v, m) in frame.delivered().iter() {
-                let (c, payload) = unwrap(m);
-                if c == state.cluster_of[v] && holding[v].is_none() {
-                    holding[v] = Some(payload);
+                // Check the cluster tag before paying for the payload split.
+                if m.word(0) as usize == state.cluster_of[v] && holding[v].is_none() {
+                    holding[v] = Some(m.split_first().1);
+                    touched.push(v);
                 }
             }
         }
@@ -190,6 +285,29 @@ pub fn up_cast(
             out.insert(c, m.clone());
         }
     }
+}
+
+/// One-shot [`up_cast_into`] with freshly allocated scratch and output. Hot
+/// paths should hold a [`CastScratch`] and an output arena and call
+/// [`up_cast_into`] instead.
+pub fn up_cast(
+    parent: &mut dyn RadioStack,
+    state: &ClusterState,
+    participating: &NodeSet,
+    messages: &NodeSlots<Msg>,
+    frame: &mut LbFrame,
+) -> NodeSlots<Msg> {
+    let mut scratch = CastScratch::new(state.num_nodes());
+    let mut out = NodeSlots::new(state.num_clusters());
+    up_cast_into(
+        parent,
+        state,
+        participating,
+        messages,
+        frame,
+        &mut scratch,
+        &mut out,
+    );
     out
 }
 

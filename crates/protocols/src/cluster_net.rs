@@ -19,7 +19,7 @@
 
 use radio_sim::{NodeSet, NodeSlots};
 
-use crate::cast::{down_cast, up_cast};
+use crate::cast::{down_cast_with, up_cast_into, CastScratch};
 use crate::clustering::ClusterState;
 use crate::lb::LbFrame;
 use crate::ledger::LbLedger;
@@ -47,6 +47,11 @@ pub struct VirtualClusterNet<'a> {
     crossed: NodeSlots<Msg>,
     /// Receiving clusters of the current call.
     participating: NodeSet,
+    /// Holder arena + step-schedule buffers shared by both casts.
+    cast_scratch: CastScratch,
+    /// Up-cast output over the cluster universe, swapped into the virtual
+    /// frame's delivery arena (not cloned).
+    at_centers: NodeSlots<Msg>,
 }
 
 impl<'a> VirtualClusterNet<'a> {
@@ -57,6 +62,8 @@ impl<'a> VirtualClusterNet<'a> {
         let parent_frame = parent.new_frame();
         let crossed = NodeSlots::new(parent.num_nodes());
         let participating = NodeSet::new(state.num_clusters());
+        let cast_scratch = CastScratch::new(parent.num_nodes());
+        let at_centers = NodeSlots::new(state.num_clusters());
         VirtualClusterNet {
             parent,
             state,
@@ -65,6 +72,8 @@ impl<'a> VirtualClusterNet<'a> {
             parent_frame,
             crossed,
             participating,
+            cast_scratch,
+            at_centers,
         }
     }
 
@@ -132,20 +141,24 @@ impl RadioStack for VirtualClusterNet<'_> {
             .record_call(frame.senders().keys().iter(), frame.receivers().iter());
 
         // Step 1: Down-cast the senders' messages within their clusters.
-        let holding = down_cast(
+        let holding = down_cast_with(
             &mut *self.parent,
             self.state,
             frame.senders(),
             &mut self.parent_frame,
+            &mut self.cast_scratch,
         );
 
         // Step 2: one Local-Broadcast on the parent network between the
-        // member sets.
+        // member sets (walked layer by layer — the member lists live in
+        // per-layer buckets, so no flattened copy is materialised).
         self.parent_frame.clear();
         for (c, _) in frame.senders().iter() {
-            for v in self.state.members(c) {
-                if let Some(m) = &holding[v] {
-                    self.parent_frame.add_sender(v, m.clone());
+            for layer in 0..=self.state.radius(c) {
+                for &v in self.state.members_at_layer(c, layer) {
+                    if let Some(m) = &holding[v] {
+                        self.parent_frame.add_sender(v, m.clone());
+                    }
                 }
             }
         }
@@ -153,8 +166,10 @@ impl RadioStack for VirtualClusterNet<'_> {
             if frame.senders().contains(c) {
                 continue;
             }
-            for v in self.state.members(c) {
-                self.parent_frame.add_receiver(v);
+            for layer in 0..=self.state.radius(c) {
+                for &v in self.state.members_at_layer(c, layer) {
+                    self.parent_frame.add_receiver(v);
+                }
             }
         }
         if !(self.parent_frame.senders().is_empty() && self.parent_frame.receivers().is_empty()) {
@@ -164,21 +179,20 @@ impl RadioStack for VirtualClusterNet<'_> {
         self.crossed.clear();
         self.parent_frame.swap_delivered(&mut self.crossed);
 
-        // Step 3: Up-cast within the receiving clusters.
-        self.participating.clear();
-        for c in frame.receivers().iter() {
-            if !frame.senders().contains(c) {
-                self.participating.insert(c);
-            }
-        }
-        let at_centers = up_cast(
+        // Step 3: Up-cast within the receiving clusters (receivers minus
+        // senders, word-parallel).
+        self.participating.copy_from(frame.receivers());
+        self.participating.difference_with(frame.senders().keys());
+        up_cast_into(
             &mut *self.parent,
             self.state,
             &self.participating,
             &self.crossed,
             &mut self.parent_frame,
+            &mut self.cast_scratch,
+            &mut self.at_centers,
         );
-        frame.replace_delivered(at_centers);
+        frame.swap_delivered(&mut self.at_centers);
     }
 
     fn lb_energy(&self, v: usize) -> u64 {

@@ -74,6 +74,9 @@ pub struct AbstractLbNetwork {
     ledger: Option<LbLedger>,
     failure_prob: f64,
     rng: ChaCha8Rng,
+    /// Per-receiver scratch: the sending neighbours found in the single CSR
+    /// pass, so the uniform pick indexes the buffer instead of re-scanning.
+    pick_buf: Vec<usize>,
 }
 
 impl AbstractLbNetwork {
@@ -93,6 +96,7 @@ impl AbstractLbNetwork {
             ledger: ledger.then(|| LbLedger::new(n)),
             failure_prob,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            pick_buf: Vec::new(),
         }
     }
 
@@ -141,12 +145,16 @@ impl RadioStack for AbstractLbNetwork {
                 // listed in both acts as a sender only.
                 continue;
             }
-            // Count sending neighbours columnar: one pass over the CSR
-            // adjacency against the sender occupancy bitset.
-            let mut count = 0usize;
+            // Collect sending neighbours in one pass over the CSR adjacency
+            // against the sender occupancy bitset; the uniform pick then
+            // indexes the buffer instead of re-scanning the adjacency.
+            self.pick_buf.clear();
             for &u in self.graph.neighbors(r) {
-                count += usize::from(senders.contains(u));
+                if senders.contains(u) {
+                    self.pick_buf.push(u);
+                }
             }
+            let count = self.pick_buf.len();
             if count == 0 {
                 if cd {
                     feedback.insert(r, LbFeedback::Silence);
@@ -162,18 +170,10 @@ impl RadioStack for AbstractLbNetwork {
             // The specification only promises *some* neighbour's message; we
             // pick uniformly to avoid accidental reliance on a tie-break.
             let pick = self.rng.gen_range(0..count);
-            let mut seen = 0usize;
-            for &u in self.graph.neighbors(r) {
-                if senders.contains(u) {
-                    if seen == pick {
-                        delivered.insert(r, senders.get(u).expect("occupied sender").clone());
-                        if cd {
-                            feedback.insert(r, LbFeedback::Delivered);
-                        }
-                        break;
-                    }
-                    seen += 1;
-                }
+            let u = self.pick_buf[pick];
+            delivered.insert(r, senders.get(u).expect("occupied sender").clone());
+            if cd {
+                feedback.insert(r, LbFeedback::Delivered);
             }
         }
     }

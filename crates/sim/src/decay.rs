@@ -79,16 +79,22 @@ impl DecayParams {
 }
 
 /// Reusable per-slot buffers for [`decay_local_broadcast`]: the columnar
-/// [`SlotFrame`] handed to the channel each slot, plus the senders' slot
-/// choices for the current iteration (parallel to ascending sender order).
+/// [`SlotFrame`] handed to the channel each slot, plus the per-iteration
+/// slot schedule bucketed by slot number.
 #[derive(Clone, Debug)]
 pub struct DecayScratch<M> {
     slot: SlotFrame<M>,
-    choices: Vec<usize>,
+    /// `buckets[t]` lists the senders that picked slot `t` this iteration,
+    /// in ascending node order (bucket 0 is unused — slots are 1-based).
+    /// Bucketing the schedule once per iteration lets each slot touch only
+    /// its own transmitters instead of re-scanning every sender per slot.
+    buckets: Vec<Vec<usize>>,
     /// CD variant only: senders that still have unresolved receivers nearby.
     active_senders: NodeSet,
     /// CD variant only: receivers that heard non-silence this iteration.
     heard_activity: NodeSet,
+    /// Word-parallel workspace for listen/unresolved set computations.
+    pending: NodeSet,
 }
 
 impl<M> DecayScratch<M> {
@@ -96,9 +102,20 @@ impl<M> DecayScratch<M> {
     pub fn new(n: usize) -> Self {
         DecayScratch {
             slot: SlotFrame::new(n),
-            choices: Vec::new(),
+            buckets: Vec::new(),
             active_senders: NodeSet::new(n),
             heard_activity: NodeSet::new(n),
+            pending: NodeSet::new(n),
+        }
+    }
+
+    /// Clears the slot buckets for a new iteration with `levels` slots.
+    fn reset_buckets(&mut self, levels: usize) {
+        if self.buckets.len() <= levels {
+            self.buckets.resize_with(levels + 1, Vec::new);
+        }
+        for bucket in &mut self.buckets[..=levels] {
+            bucket.clear();
         }
     }
 }
@@ -145,32 +162,31 @@ pub fn decay_local_broadcast<M: Payload, R: Rng + ?Sized>(
     for _ in 0..iterations {
         // Each sender independently picks its transmission slot for this
         // iteration, in ascending node order (deterministic by
-        // construction, no sort needed).
-        scratch.choices.clear();
-        scratch.choices.extend(
-            senders
-                .keys()
-                .iter()
-                .map(|_| sample_decay_slot(levels, rng)),
-        );
+        // construction, no sort needed — the draw order is a pinned
+        // contract), bucketed by slot so each slot below touches only its
+        // own transmitters.
+        scratch.reset_buckets(levels);
+        for u in senders.keys().iter() {
+            scratch.buckets[sample_decay_slot(levels, rng)].push(u);
+        }
         for slot in 1..=levels {
             scratch.slot.clear();
-            for (i, (u, m)) in senders.iter().enumerate() {
-                if scratch.choices[i] == slot {
-                    scratch.slot.transmit.insert(u, m.clone());
-                }
+            for &u in &scratch.buckets[slot] {
+                scratch
+                    .slot
+                    .transmit
+                    .insert(u, senders.get(u).expect("occupied sender").clone());
             }
-            for v in receivers.iter() {
-                // A receiver that has already heard something sleeps for the
-                // rest of the call (Lemma 2.4's expected-energy saving).
-                if !delivered.contains(v) && !senders.contains(v) {
-                    scratch.slot.listen.insert(v);
-                }
-            }
+            // Receivers that have already heard something sleep for the
+            // rest of the call (Lemma 2.4's expected-energy saving):
+            // listeners = receivers − delivered − senders, word-parallel.
+            scratch.slot.listen.copy_from(receivers);
+            scratch.slot.listen.difference_with(delivered.keys());
+            scratch.slot.listen.difference_with(senders.keys());
             net.step_frame(&mut scratch.slot);
             slots_used += 1;
-            for (v, fb) in scratch.slot.feedback.iter() {
-                if let Feedback::Received(m) = fb {
+            for v in scratch.slot.received.iter() {
+                if let Some(Feedback::Received(m)) = scratch.slot.feedback.get(v) {
                     delivered.insert_if_absent(v, m.clone());
                 }
             }
@@ -234,13 +250,26 @@ pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
     let (senders, receivers, delivered, feedback) = frame.parts_with_feedback_mut();
     let DecayScratch {
         slot,
-        choices,
+        buckets,
         active_senders,
         heard_activity,
+        pending,
     } = scratch;
     active_senders.clear();
     active_senders.extend(senders.keys().iter());
     let mut slots_used = 0u64;
+
+    // The unresolved receivers — neither resolved with a verdict nor
+    // senders — recomputed word-parallel into the `pending` scratch set
+    // wherever the call needs them (the feedback lane doubles as the
+    // resolved set, since every resolution records a verdict).
+    macro_rules! unresolved_into_pending {
+        () => {{
+            pending.copy_from(receivers);
+            pending.difference_with(feedback.keys());
+            pending.difference_with(senders.keys());
+        }};
+    }
 
     for _ in 0..iterations {
         // Stop once every sender has retired AND every receiver is
@@ -249,38 +278,32 @@ pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
         // `Silence` verdict by listening — matching the abstract CD
         // backend's verdict for the same call — rather than being
         // misreported as `Noise` by the fallback below.
-        let unresolved = receivers
-            .iter()
-            .any(|v| !feedback.contains(v) && !senders.contains(v));
-        if active_senders.is_empty() && !unresolved {
+        unresolved_into_pending!();
+        if active_senders.is_empty() && pending.is_empty() {
             break;
         }
         // Active senders draw their slots in ascending node order; the
         // active set evolves deterministically, so the RNG stream maps to
-        // devices reproducibly.
-        choices.clear();
-        choices.extend(
-            active_senders
-                .iter()
-                .map(|_| sample_decay_slot(levels, rng)),
-        );
+        // devices reproducibly (the draw order is a pinned contract).
+        if buckets.len() <= levels {
+            buckets.resize_with(levels + 1, Vec::new);
+        }
+        for bucket in &mut buckets[..=levels] {
+            bucket.clear();
+        }
+        for u in active_senders.iter() {
+            buckets[sample_decay_slot(levels, rng)].push(u);
+        }
         heard_activity.clear();
-        for s in 1..=levels {
+        for bucket in buckets.iter().take(levels + 1).skip(1) {
             slot.clear();
-            for (i, u) in active_senders.iter().enumerate() {
-                if choices[i] == s {
-                    slot.transmit
-                        .insert(u, senders.get(u).expect("occupied sender").clone());
-                }
+            for &u in bucket {
+                slot.transmit
+                    .insert(u, senders.get(u).expect("occupied sender").clone());
             }
-            // A receiver listens while unresolved: neither delivered to nor
-            // concluded silent (the feedback lane doubles as the resolved
-            // set, since every resolution records a verdict).
-            for v in receivers.iter() {
-                if !feedback.contains(v) && !senders.contains(v) {
-                    slot.listen.insert(v);
-                }
-            }
+            // A receiver listens while unresolved.
+            unresolved_into_pending!();
+            slot.listen.copy_from(pending);
             net.step_frame(slot);
             slots_used += 1;
             for (v, fb) in slot.feedback.iter() {
@@ -300,11 +323,11 @@ pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
         // Rule 1: an unresolved receiver that heard silence in every slot of
         // this iteration has no active sending neighbour — and since senders
         // only retire once all their neighbouring receivers are resolved, no
-        // sending neighbour at all.
-        for v in receivers.iter() {
-            if !feedback.contains(v) && !senders.contains(v) && !heard_activity.contains(v) {
-                feedback.insert(v, LbFeedback::Silence);
-            }
+        // sending neighbour at all. Set form: unresolved − heard_activity.
+        unresolved_into_pending!();
+        pending.difference_with(heard_activity);
+        for v in pending.iter() {
+            feedback.insert(v, LbFeedback::Silence);
         }
         // Rule 2 (echo slot): unresolved receivers beacon, active senders
         // listen; silence retires the sender. With no senders left to
@@ -313,14 +336,11 @@ pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
             continue;
         }
         slot.clear();
-        for v in receivers.iter() {
-            if !feedback.contains(v) && !senders.contains(v) {
-                slot.transmit.insert(v, M::default());
-            }
+        unresolved_into_pending!();
+        for v in pending.iter() {
+            slot.transmit.insert(v, M::default());
         }
-        for u in active_senders.iter() {
-            slot.listen.insert(u);
-        }
+        slot.listen.copy_from(active_senders);
         net.step_frame(slot);
         slots_used += 1;
         for (u, fb) in slot.feedback.iter() {
@@ -332,10 +352,9 @@ pub fn decay_local_broadcast_cd<M: Payload + Default, R: Rng + ?Sized>(
 
     // Receivers still unresolved after all iterations heard activity they
     // could never decode (persistent collisions — a 1/poly(n) tail event).
-    for v in receivers.iter() {
-        if !feedback.contains(v) && !senders.contains(v) {
-            feedback.insert(v, LbFeedback::Noise);
-        }
+    unresolved_into_pending!();
+    for v in pending.iter() {
+        feedback.insert(v, LbFeedback::Noise);
     }
 
     slots_used

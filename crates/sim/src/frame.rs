@@ -28,16 +28,51 @@ use crate::model::{Feedback, LbFeedback};
 /// A dense set of node identifiers over a fixed universe `0..n`.
 ///
 /// Insert, remove and membership are `O(1)`; iteration is ascending by
-/// construction and `O(n/64 + |set|)`. Occupied words are not tracked:
-/// `clear` zeroes all `n/64` words, a single `memset` that in practice
-/// beats per-word bookkeeping at the universe sizes the simulator handles
-/// (unlike [`NodeSlots::clear`], which is `O(|occupied|)`).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// construction. An *occupied-word watermark* tracks one past the highest
+/// `u64` block that may hold a set bit, so [`NodeSet::clear`] and the word
+/// loops only touch the prefix a sparse set actually uses, and a sparse
+/// round on a large universe stays cheap.
+///
+/// The bulk kernels ([`NodeSet::union_with`], [`NodeSet::intersect_with`],
+/// [`NodeSet::difference_with`], [`NodeSet::copy_from`],
+/// [`NodeSet::is_disjoint`], [`NodeSet::count_intersection`]) are written
+/// as straight-line loops over `u64` blocks — 64 membership decisions per
+/// iteration, autovectorizer-friendly — with `len` recomputed exactly by
+/// `count_ones` accumulation. Raw word access for external kernels is
+/// available through [`NodeSet::words`] / [`NodeSet::words_mut`] +
+/// [`NodeSet::recount`].
+///
+/// # Out-of-universe ids
+///
+/// The mutating and querying entry points deliberately differ on ids
+/// `v >= universe`: [`NodeSet::insert`] **panics** (an out-of-universe
+/// insert is always a logic error — the bit has nowhere to live), while
+/// [`NodeSet::remove`] and [`NodeSet::contains`] tolerate them (removing a
+/// non-member is a no-op and an out-of-universe id is never a member, so
+/// both have a sensible total answer). Frame-reuse call sites that probe
+/// speculatively can use [`NodeSet::try_insert`] instead of pre-checking.
+#[derive(Clone, Debug, Default)]
 pub struct NodeSet {
     words: Vec<u64>,
     universe: usize,
     len: usize,
+    /// One past the highest word index that may hold a set bit; words at
+    /// `hi..` are all zero. Grows on insert, resets on clear, and is *not*
+    /// shrunk by remove — it is a conservative bound, not an exact one.
+    hi: usize,
 }
+
+/// Equality is semantic — same universe, same members. The occupied-word
+/// watermark is bookkeeping (two equal sets may carry different watermarks
+/// after different insert/remove histories), so `PartialEq` is implemented
+/// by hand over `universe` and the words rather than derived.
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe && self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for NodeSet {}
 
 impl NodeSet {
     /// An empty set over the universe `0..n`.
@@ -46,6 +81,7 @@ impl NodeSet {
             words: vec![0; n.div_ceil(64)],
             universe: n,
             len: 0,
+            hi: 0,
         }
     }
 
@@ -64,15 +100,19 @@ impl NodeSet {
         self.len == 0
     }
 
-    /// Removes every member. `O(n/64)`.
+    /// Removes every member. `O(watermark)`: only the word prefix that may
+    /// hold bits is zeroed, so clearing a sparse set over a big universe
+    /// costs proportional to what was actually occupied.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        self.words[..self.hi].fill(0);
+        self.hi = 0;
         self.len = 0;
     }
 
     /// Inserts `v`; returns `true` if it was not already present.
     ///
-    /// Panics if `v` is outside the universe.
+    /// Panics if `v` is outside the universe (see the type-level note on
+    /// out-of-universe ids; use [`NodeSet::try_insert`] to probe instead).
     pub fn insert(&mut self, v: usize) -> bool {
         assert!(
             v < self.universe,
@@ -83,10 +123,26 @@ impl NodeSet {
         let fresh = self.words[w] & b == 0;
         self.words[w] |= b;
         self.len += usize::from(fresh);
+        if w >= self.hi {
+            self.hi = w + 1;
+        }
         fresh
     }
 
-    /// Removes `v`; returns `true` if it was present.
+    /// Non-panicking [`NodeSet::insert`]: returns `true` iff `v` is inside
+    /// the universe *and* was not already present. Out-of-universe ids are
+    /// ignored (mirroring how [`NodeSet::remove`] / [`NodeSet::contains`]
+    /// treat them), which is the shape speculative frame-reuse call sites
+    /// want.
+    pub fn try_insert(&mut self, v: usize) -> bool {
+        if v >= self.universe {
+            return false;
+        }
+        self.insert(v)
+    }
+
+    /// Removes `v`; returns `true` if it was present. Out-of-universe ids
+    /// are tolerated (never members, so removal is a no-op).
     pub fn remove(&mut self, v: usize) -> bool {
         if v >= self.universe {
             return false;
@@ -103,12 +159,13 @@ impl NodeSet {
         v < self.universe && self.words[v / 64] & (1u64 << (v % 64)) != 0
     }
 
-    /// Iterates the members in ascending order.
+    /// Iterates the members in ascending order. `O(watermark + |set|)`.
     pub fn iter(&self) -> NodeSetIter<'_> {
+        let words = &self.words[..self.hi];
         NodeSetIter {
-            words: &self.words,
+            words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: words.first().copied().unwrap_or(0),
         }
     }
 
@@ -117,6 +174,131 @@ impl NodeSet {
         for v in iter {
             self.insert(v);
         }
+    }
+
+    /// One past the highest word index that may hold a set bit. Words at
+    /// `watermark()..` of [`NodeSet::words`] are guaranteed zero, so word
+    /// loops over `words()[..watermark()]` see every member.
+    pub fn watermark(&self) -> usize {
+        self.hi
+    }
+
+    /// The raw backing words, least-significant bit of word `w` = node
+    /// `64 * w`. The slice always has `universe.div_ceil(64)` words; those
+    /// at [`NodeSet::watermark`] and beyond are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw word access for external word-at-a-time kernels.
+    ///
+    /// After writing through this slice the cached `len` and watermark are
+    /// stale — call [`NodeSet::recount`] before using any other method.
+    /// Callers must not set bits at `universe` or beyond.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Recomputes `len` and the watermark from the raw words after a
+    /// [`NodeSet::words_mut`] edit. `O(n/64)`.
+    pub fn recount(&mut self) {
+        debug_assert!(
+            self.universe.is_multiple_of(64)
+                || self
+                    .words
+                    .last()
+                    .is_none_or(|&w| w >> (self.universe % 64) == 0),
+            "bit set beyond universe {}",
+            self.universe
+        );
+        let mut len = 0usize;
+        let mut hi = 0usize;
+        for (i, &w) in self.words.iter().enumerate() {
+            len += w.count_ones() as usize;
+            if w != 0 {
+                hi = i + 1;
+            }
+        }
+        self.len = len;
+        self.hi = hi;
+    }
+
+    /// Makes this set a copy of `other` (same universe required) without
+    /// reallocating. `O(max(watermarks))`.
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        // Copying up to the larger watermark overwrites any stale words of
+        // `self` with `other`'s zeros, so no separate clear is needed.
+        let m = self.hi.max(other.hi);
+        self.words[..m].copy_from_slice(&other.words[..m]);
+        self.len = other.len;
+        self.hi = other.hi;
+    }
+
+    /// `self |= other` (same universe required), word-parallel; `len` is
+    /// recomputed exactly via `count_ones` accumulation.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let m = self.hi.max(other.hi);
+        let mut len = 0usize;
+        for (a, &b) in self.words[..m].iter_mut().zip(&other.words[..m]) {
+            let w = *a | b;
+            *a = w;
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
+        self.hi = m;
+    }
+
+    /// `self &= other` (same universe required), word-parallel.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        // Words at self.hi.. are already zero; intersecting can only clear
+        // bits, so the watermark stays valid and the loop stops there.
+        let m = self.hi;
+        let mut len = 0usize;
+        for (a, &b) in self.words[..m].iter_mut().zip(&other.words[..m]) {
+            let w = *a & b;
+            *a = w;
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// `self -= other` (same universe required), word-parallel.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let m = self.hi;
+        let mut len = 0usize;
+        for (a, &b) in self.words[..m].iter_mut().zip(&other.words[..m]) {
+            let w = *a & !b;
+            *a = w;
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// `true` iff the sets share no member (same universe required).
+    /// Word-parallel with early exit on the first shared word.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let m = self.hi.min(other.hi);
+        self.words[..m]
+            .iter()
+            .zip(&other.words[..m])
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// `|self & other|` without materialising the intersection (same
+    /// universe required), word-parallel `count_ones` accumulation.
+    pub fn count_intersection(&self, other: &NodeSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let m = self.hi.min(other.hi);
+        self.words[..m]
+            .iter()
+            .zip(&other.words[..m])
+            .map(|(&a, &b)| (a & b).count_ones() as usize)
+            .sum()
     }
 }
 
@@ -286,6 +468,14 @@ impl<M> RoundFrame<M> {
         self.receivers.insert(v);
     }
 
+    /// Replaces the receiver set with a copy of `set` (same universe
+    /// required) — the word-parallel bulk form of [`RoundFrame::add_receiver`]
+    /// for drivers that already track their listening frontier as a
+    /// [`NodeSet`].
+    pub fn set_receivers(&mut self, set: &NodeSet) {
+        self.receivers.copy_from(set);
+    }
+
     /// The sender arena.
     pub fn senders(&self) -> &NodeSlots<M> {
         &self.senders
@@ -370,6 +560,10 @@ pub struct SlotFrame<M> {
     pub listen: NodeSet,
     /// Per-listener feedback (filled by the network).
     pub feedback: NodeSlots<Feedback<M>>,
+    /// The listeners whose feedback is [`Feedback::Received`] (filled by the
+    /// network alongside `feedback`), so harvest loops walk only the
+    /// deliveries instead of re-classifying every listener.
+    pub received: NodeSet,
 }
 
 impl<M> SlotFrame<M> {
@@ -379,14 +573,17 @@ impl<M> SlotFrame<M> {
             transmit: NodeSlots::new(n),
             listen: NodeSet::new(n),
             feedback: NodeSlots::new(n),
+            received: NodeSet::new(n),
         }
     }
 
-    /// Clears transmitters, listeners and feedback for the next slot.
+    /// Clears transmitters, listeners, feedback and the received index for
+    /// the next slot.
     pub fn clear(&mut self) {
         self.transmit.clear();
         self.listen.clear();
         self.feedback.clear();
+        self.received.clear();
     }
 }
 
@@ -449,6 +646,115 @@ mod tests {
     #[should_panic]
     fn node_set_rejects_out_of_universe_insert() {
         NodeSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn node_set_try_insert_tolerates_out_of_universe() {
+        let mut s = NodeSet::new(4);
+        assert!(s.try_insert(3));
+        assert!(!s.try_insert(3), "duplicate reports not-fresh");
+        assert!(!s.try_insert(4), "out-of-universe is ignored");
+        assert!(!s.try_insert(1000));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn node_set_equality_ignores_watermark_history() {
+        let mut a = NodeSet::new(300);
+        let mut b = NodeSet::new(300);
+        a.insert(5);
+        a.insert(299); // watermark high...
+        a.remove(299); // ...and left high by remove
+        b.insert(5);
+        assert_eq!(a, b, "same members, different watermarks");
+        assert_ne!(a, NodeSet::new(300));
+        assert_ne!(NodeSet::new(64), NodeSet::new(65), "universe is semantic");
+    }
+
+    #[test]
+    fn node_set_watermark_clear_then_reuse() {
+        let mut s = NodeSet::new(640);
+        s.insert(639);
+        assert_eq!(s.watermark(), 10);
+        s.clear();
+        assert_eq!(s.watermark(), 0);
+        s.insert(2);
+        assert_eq!(s.watermark(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2]);
+        assert!(!s.contains(639));
+    }
+
+    #[test]
+    fn node_set_bulk_kernels_match_per_bit_semantics() {
+        let n = 200;
+        let xs = [0usize, 3, 63, 64, 65, 127, 128, 199];
+        let ys = [3usize, 64, 66, 128, 190, 199];
+        let mut a = NodeSet::new(n);
+        a.extend(xs);
+        let mut b = NodeSet::new(n);
+        b.extend(ys);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        let want: Vec<usize> = (0..n)
+            .filter(|v| xs.contains(v) || ys.contains(v))
+            .collect();
+        assert_eq!(u.iter().collect::<Vec<_>>(), want);
+        assert_eq!(u.len(), want.len());
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        let want: Vec<usize> = (0..n)
+            .filter(|v| xs.contains(v) && ys.contains(v))
+            .collect();
+        assert_eq!(i.iter().collect::<Vec<_>>(), want);
+        assert_eq!(i.len(), want.len());
+        assert_eq!(a.count_intersection(&b), want.len());
+        assert!(!a.is_disjoint(&b));
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        let want: Vec<usize> = (0..n)
+            .filter(|v| xs.contains(v) && !ys.contains(v))
+            .collect();
+        assert_eq!(d.iter().collect::<Vec<_>>(), want);
+        assert_eq!(d.len(), want.len());
+        assert!(
+            d.is_disjoint(&i),
+            "difference and intersection are disjoint"
+        );
+        assert_eq!(d.count_intersection(&i), 0);
+    }
+
+    #[test]
+    fn node_set_copy_from_overwrites_stale_high_words() {
+        let n = 300;
+        let mut a = NodeSet::new(n);
+        a.insert(299); // high watermark in the destination
+        let mut b = NodeSet::new(n);
+        b.insert(1);
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(299), "stale high word must be zeroed");
+        a.insert(299);
+        assert!(a.contains(299), "watermark grows back on insert");
+    }
+
+    #[test]
+    fn node_set_words_mut_recount_round_trip() {
+        let mut s = NodeSet::new(130);
+        s.insert(129);
+        s.words_mut()[0] = 0b1011;
+        s.recount();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3, 129]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.watermark(), 3);
+        s.words_mut().fill(0);
+        s.recount();
+        assert!(s.is_empty());
+        assert_eq!(s.watermark(), 0);
     }
 
     #[test]
