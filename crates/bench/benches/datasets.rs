@@ -1,0 +1,108 @@
+//! PR-7 bench: the dataset substrate and the setup-vs-run split at xl
+//! scale.
+//!
+//! Three groups:
+//!
+//! * `dataset_build` — generator cost per family at 2^16 (what a cache
+//!   *miss* pays once, and what every sweep re-run used to pay per size).
+//! * `dataset_load` — bulk-reading the compiled CSR artifact at sizes up
+//!   to 2^20 (what a cache *hit* pays), plus `arc_clone`, the per-cell
+//!   share cost — the two numbers the content-addressed cache trades the
+//!   generator for.
+//! * `xl_sweep_setup_vs_run` — at n = 2^20: the old per-cell setup
+//!   (`graph_clone`: a full CSR copy, what `run_cell` did before), the new
+//!   per-cell setup (`arc_stack_build`: refcount bump + stack
+//!   construction), and one full protocol cell (`cell_run`:
+//!   `trivial_bfs:depth=64`). Setup no longer dominating at 2^20 means
+//!   `arc_stack_build ≪ cell_run` where `graph_clone` was comparable to
+//!   it.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_bench::scenarios::{Family, Protocol, StackSpec};
+use radio_graph::dataset::{read_artifact, write_artifact, DatasetCache};
+use radio_graph::Graph;
+use radio_protocols::protocol::ProtocolInput;
+
+fn bench_dataset_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_build");
+    group.sample_size(10);
+    let n = 1usize << 16;
+    for family in [Family::Path, Family::Grid, Family::GridHilbert] {
+        group.bench_with_input(BenchmarkId::from_parameter(family.label()), &n, |b, &n| {
+            b.iter(|| black_box(family.build(n)).num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_load");
+    group.sample_size(10);
+    let dir = std::env::temp_dir().join(format!("radio-dataset-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    let cache = DatasetCache::new(&dir);
+    for &exp in &[16u32, 18, 20] {
+        let n = 1usize << exp;
+        let key = Family::Grid.dataset_key(n);
+        let path = cache.path_for(&key);
+        let g = Family::Grid.build(n);
+        write_artifact(&path, &key, &g).expect("write artifact");
+        group.bench_with_input(BenchmarkId::new("grid", format!("2^{exp}")), &n, |b, _| {
+            b.iter(|| black_box(read_artifact(&path, &key).expect("read")).num_edges())
+        });
+        let shared = Arc::new(g);
+        group.bench_with_input(
+            BenchmarkId::new("arc_clone", format!("2^{exp}")),
+            &n,
+            |b, _| b.iter(|| black_box(Arc::clone(&shared)).num_nodes()),
+        );
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_xl_setup_vs_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xl_sweep_setup_vs_run");
+    group.sample_size(10);
+    let n = 1usize << 20;
+    let shared: Arc<Graph> = Arc::new(Family::Grid.build(n));
+    let spec = StackSpec::Abstract;
+
+    // The pre-PR-7 per-cell setup: one full CSR copy per (size, seed).
+    group.bench_function("graph_clone", |b| {
+        b.iter(|| black_box(Graph::clone(&shared)).num_edges())
+    });
+    // The post-PR-7 per-cell setup: refcount bump + stack construction.
+    group.bench_function("arc_stack_build", |b| {
+        b.iter(|| {
+            let stack = spec.build(Arc::clone(&shared), 0);
+            black_box(stack).graph().num_nodes()
+        })
+    });
+    // One full xl cell: the depth-64 wavefront, frame included — the work
+    // the setup should be negligible next to.
+    let protocol = energy_bfs::protocol::registry()
+        .get(&Protocol::TrivialBfsDepth { depth: 64 }.spec())
+        .expect("registry spec");
+    group.bench_function("cell_run", |b| {
+        let mut frame = radio_protocols::LbFrame::new(n);
+        b.iter(|| {
+            let mut stack = spec.build(Arc::clone(&shared), 0);
+            let report = protocol
+                .run_with_frame(&mut stack, &ProtocolInput::from_seed(0), &mut frame)
+                .expect("cell run");
+            black_box(report.outcome())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dataset_build,
+    bench_dataset_load,
+    bench_xl_setup_vs_run
+);
+criterion_main!(benches);

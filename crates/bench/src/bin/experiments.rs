@@ -12,11 +12,23 @@
 //! `scenarios` accepts `--threads N` (worker threads for the scenario
 //! runner; default = available parallelism, `1` = the exact serial path),
 //! `--quiet` (suppress per-scenario progress lines on stderr), and
-//! `--protocol <spec>` (run only the default-sweep scenarios whose protocol
+//! `--protocol <spec>` (run only the sweep scenarios whose protocol
 //! resolves to the given registry spec, e.g. `trivial_bfs_cd`,
 //! `decay_bfs`, or `clustering:b=4`; an unknown spec exits non-zero with
 //! the registry's known-protocol list). The emitted records and JSON are
 //! byte-identical for every thread count.
+//!
+//! Dataset substrate knobs (scenarios only):
+//!
+//! * `--dataset-dir <path>` — where compiled CSR artifacts live
+//!   (default `target/datasets`); graphs are compiled there on first use
+//!   and bulk-read on every later run.
+//! * `--no-dataset-cache` — build every graph from its generator instead.
+//!   Records are byte-identical either way (the cache changes where graph
+//!   bytes come from, never what they are).
+//! * `--xl` — append the `xl-` large-graph scenarios (n up to 2^20) after
+//!   the default sweep. Off by default: the 364 default records are the
+//!   frozen conformance surface, xl cells are strictly append-only.
 
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
@@ -42,31 +54,47 @@ use radio_sim::DecayParams;
 use rand::Rng;
 
 fn main() {
-    // Split flags (`--threads N`, `--threads=N`, `--quiet`) from experiment
-    // ids first, so that e.g. `-- scenarios --threads 4` does not read the
-    // flag as an unknown id and fall back to running everything.
-    let raw: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    // Split flags (`--threads N`, `--threads=N`, `--quiet`, …) from
+    // experiment ids first, so that e.g. `-- scenarios --threads 4` does
+    // not read the flag as an unknown id and fall back to running
+    // everything. Flags and ids compare case-insensitively, but flag
+    // *values* are taken verbatim — `--dataset-dir` is a filesystem path.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut runner = radio_bench::scenarios::RunnerConfig::default();
     let mut protocol_filter: Option<String> = None;
+    let mut dataset_dir = String::from("target/datasets");
+    let mut use_dataset_cache = true;
+    let mut xl = false;
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
-        if arg == "--quiet" {
+        let lower = arg.to_lowercase();
+        if lower == "--quiet" {
             runner.quiet = true;
-        } else if arg == "--threads" {
+        } else if lower == "--threads" {
             let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
             runner.threads = parse_threads(&v);
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
+        } else if let Some(v) = lower.strip_prefix("--threads=") {
             runner.threads = parse_threads(v);
-        } else if arg == "--protocol" {
+        } else if lower == "--protocol" {
             let v = it.next().unwrap_or_else(|| die("--protocol needs a spec"));
-            protocol_filter = Some(v);
-        } else if let Some(v) = arg.strip_prefix("--protocol=") {
+            protocol_filter = Some(v.to_lowercase());
+        } else if let Some(v) = lower.strip_prefix("--protocol=") {
             protocol_filter = Some(v.to_string());
-        } else if arg.starts_with("--") {
+        } else if lower == "--dataset-dir" {
+            dataset_dir = it
+                .next()
+                .unwrap_or_else(|| die("--dataset-dir needs a path"));
+        } else if let Some(v) = arg.strip_prefix("--dataset-dir=") {
+            dataset_dir = v.to_string();
+        } else if lower == "--no-dataset-cache" {
+            use_dataset_cache = false;
+        } else if lower == "--xl" {
+            xl = true;
+        } else if lower.starts_with("--") {
             die(&format!("unknown flag {arg}"));
         } else {
-            ids.push(arg);
+            ids.push(lower);
         }
     }
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
@@ -83,6 +111,9 @@ fn main() {
         if let Err(e) = energy_bfs::protocol::registry().get(spec) {
             die(&e.to_string());
         }
+    }
+    if xl && !(run_all || ids.iter().any(|a| a == "scenarios")) {
+        die("--xl only applies to the scenarios experiment");
     }
 
     if wants("e1") {
@@ -128,7 +159,8 @@ fn main() {
         e14_polling_tradeoff();
     }
     if wants("scenarios") {
-        scenario_sweeps(&runner, protocol_filter.as_deref());
+        let cache = use_dataset_cache.then(|| radio_graph::dataset::DatasetCache::new(dataset_dir));
+        scenario_sweeps(&runner, protocol_filter.as_deref(), cache.as_ref(), xl);
     }
 }
 
@@ -144,14 +176,11 @@ fn parse_threads(v: &str) -> usize {
     }
 }
 
-/// The distinct protocol *specs* of the default sweep, for `--protocol`
-/// diagnostics — specs, not labels, so the suggestions can be fed straight
-/// back to `--protocol`.
-fn sweep_protocol_specs() -> Vec<String> {
-    let mut specs: Vec<String> = radio_bench::scenarios::default_scenarios()
-        .iter()
-        .map(|s| s.protocol.spec())
-        .collect();
+/// The distinct protocol *specs* of a sweep, for `--protocol` diagnostics
+/// — specs, not labels, so the suggestions can be fed straight back to
+/// `--protocol`.
+fn sweep_protocol_specs(scenarios: &[radio_bench::scenarios::Scenario]) -> Vec<String> {
+    let mut specs: Vec<String> = scenarios.iter().map(|s| s.protocol.spec()).collect();
     specs.sort();
     specs.dedup();
     specs
@@ -162,24 +191,39 @@ fn sweep_protocol_specs() -> Vec<String> {
 /// the worker pool. Set `SCENARIO_JSON=<path>` to also write the per-seed
 /// records as JSON — byte-identical for every `--threads` value.
 ///
-/// With a `--protocol` filter, only the default-sweep scenarios whose
-/// protocol resolves to the given registry spec run; the spec is validated
-/// through `energy_bfs::protocol::registry()` first, so a typo exits
-/// non-zero with the known-protocol list instead of silently matching
-/// nothing.
-fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig, protocol_filter: Option<&str>) {
-    use radio_bench::scenarios::{default_scenarios, records_to_json, run_scenarios_with};
+/// With a `--protocol` filter, only the sweep scenarios whose protocol
+/// resolves to the given registry spec run; the spec is validated through
+/// `energy_bfs::protocol::registry()` first, so a typo exits non-zero with
+/// the known-protocol list instead of silently matching nothing.
+///
+/// With a dataset `cache`, graphs come from compiled CSR artifacts under
+/// the cache directory (generator output on first use, bulk read after);
+/// the hit/miss tally goes to stderr so CI can assert cache behaviour.
+/// `xl` appends the large-graph scenarios after the default sweep.
+fn scenario_sweeps(
+    runner: &radio_bench::scenarios::RunnerConfig,
+    protocol_filter: Option<&str>,
+    cache: Option<&radio_graph::dataset::DatasetCache>,
+    xl: bool,
+) {
+    use radio_bench::scenarios::{
+        default_scenarios, records_to_json, run_scenarios_with_cache, xl_scenarios,
+    };
     let mut scenarios = default_scenarios();
+    if xl {
+        scenarios.extend(xl_scenarios());
+    }
     if let Some(spec) = protocol_filter {
         let label = match energy_bfs::protocol::registry().get(spec) {
             Ok(p) => p.name(),
             Err(e) => die(&e.to_string()),
         };
+        let all_specs = sweep_protocol_specs(&scenarios);
         scenarios.retain(|s| s.protocol.label() == label.as_str());
         if scenarios.is_empty() {
             die(&format!(
-                "--protocol {spec}: no default-sweep scenario runs {label}; sweep specs: {}",
-                sweep_protocol_specs().join(", ")
+                "--protocol {spec}: no sweep scenario runs {label}; sweep specs: {}",
+                all_specs.join(", ")
             ));
         }
     }
@@ -188,15 +232,23 @@ fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig, protocol_filte
         "batched multi-seed sweeps (6-32 seeds per family/size)",
     );
     let started = std::time::Instant::now();
-    let records = run_scenarios_with(&scenarios, runner);
-    // Wall-clock goes to stderr only: the table and the JSON must stay
-    // byte-identical across runs and thread counts.
+    let records = run_scenarios_with_cache(&scenarios, runner, cache);
+    // Wall-clock and cache tallies go to stderr only: the table and the
+    // JSON must stay byte-identical across runs and thread counts.
     if !runner.quiet {
         eprintln!(
             "[scenarios] {} records in {:.0?} (threads={})",
             records.len(),
             started.elapsed(),
             runner.threads
+        );
+    }
+    if let Some(c) = cache {
+        eprintln!(
+            "[datasets] dir={} hits={} misses={}",
+            c.dir().display(),
+            c.hits(),
+            c.misses()
         );
     }
     let mut rows = Vec::new();
@@ -217,6 +269,7 @@ fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig, protocol_filte
             r.physical_slots
                 .map_or_else(|| "-".into(), |x| x.to_string()),
             r.outcome.to_string(),
+            r.target_n.to_string(),
         ]);
     }
     println!(
@@ -236,6 +289,7 @@ fn scenario_sweeps(runner: &radio_bench::scenarios::RunnerConfig, protocol_filte
                 "max phys energy",
                 "phys slots",
                 "outcome",
+                "target n",
             ],
             &rows
         )

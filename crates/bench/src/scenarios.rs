@@ -37,6 +37,9 @@
 //! conformance tests in `tests/determinism.rs` and the property tests in
 //! `crates/bench/tests/properties.rs` pin parallel output to serial output.
 
+use std::sync::Arc;
+
+use radio_graph::dataset::{self, DatasetCache, DatasetKey};
 use radio_graph::lower_bound::build_disjointness_graph;
 use radio_graph::{generators, Graph};
 use radio_protocols::protocol::{Protocol as ProtocolImpl, ProtocolInput};
@@ -54,6 +57,14 @@ pub enum Family {
     Cycle,
     /// Square grid with side `⌊√size⌋`.
     Grid,
+    /// The same square grid re-labelled along the Hilbert space-filling
+    /// curve, so CSR neighbour blocks of curve-adjacent vertices sit close
+    /// in memory (the COST-style cache-aware layout). Isomorphic to
+    /// [`Family::Grid`] of the same size with vertex 0 (the BFS source)
+    /// fixed; **opt-in per scenario** — never substituted into existing
+    /// families, because relabelling changes neighbour iteration order and
+    /// with it any RNG-ordered delivery draw.
+    GridHilbert,
     /// Complete `arity`-ary tree with as many full levels as fit in `size`.
     Tree {
         /// Branching factor (≥ 2).
@@ -89,6 +100,7 @@ impl Family {
             Family::Path => "path".into(),
             Family::Cycle => "cycle".into(),
             Family::Grid => "grid".into(),
+            Family::GridHilbert => "grid_hilbert".into(),
             Family::Tree { arity } => format!("tree{arity}"),
             Family::Star => "star".into(),
             Family::Lollipop => "lollipop".into(),
@@ -113,6 +125,10 @@ impl Family {
             Family::Grid => {
                 let side = (size as f64).sqrt().floor() as usize;
                 generators::grid(side.max(2), side.max(2))
+            }
+            Family::GridHilbert => {
+                let side = ((size as f64).sqrt().floor() as usize).max(2);
+                dataset::hilbert::relabeled_grid(side, side)
             }
             Family::Tree { arity } => {
                 let k = (*arity).max(2);
@@ -148,6 +164,15 @@ impl Family {
                 build_disjointness_graph(&set_a, &set_b, ell).graph
             }
         }
+    }
+
+    /// The content-address of this family's instance at the given *target*
+    /// size, for [`DatasetCache`] lookups. [`Family::label`] already encodes
+    /// every generator parameter (arity, intersection, layout), so the label
+    /// is the whole key family and the params field stays empty; two
+    /// families whose labels differ can never share an artifact.
+    pub fn dataset_key(&self, size: usize) -> DatasetKey {
+        DatasetKey::new(self.label(), "", size)
     }
 }
 
@@ -197,11 +222,12 @@ impl StackSpec {
         }
     }
 
-    /// Builds the stack for one seeded run. The record's backend and
-    /// energy-model labels are read back from the built stack's
-    /// `Capabilities`, so the JSON columns can never drift from what the
-    /// stack actually is.
-    pub fn build(&self, graph: Graph, seed: u64) -> Stack {
+    /// Builds the stack for one seeded run over a shared topology — an
+    /// `Arc` refcount bump, never a CSR copy, no matter how many cells the
+    /// sweep fans out. The record's backend and energy-model labels are
+    /// read back from the built stack's `Capabilities`, so the JSON columns
+    /// can never drift from what the stack actually is.
+    pub fn build(&self, graph: Arc<Graph>, seed: u64) -> Stack {
         let builder = StackBuilder::new(graph).with_seed(seed);
         match self {
             StackSpec::Abstract => builder.build(),
@@ -230,6 +256,14 @@ impl StackSpec {
 pub enum Protocol {
     /// Full-depth trivial wavefront BFS from node 0 (Section 4.3 baseline).
     TrivialBfs,
+    /// The same wavefront with an explicit depth horizon `D` — the `xl-`
+    /// sweep workload: on million-node instances the full-depth wavefront
+    /// is `O(n·D)` and would dwarf the sweep, while a bounded horizon keeps
+    /// per-cell work proportional to the explored ball.
+    TrivialBfsDepth {
+        /// Depth horizon (≥ 1).
+        depth: u64,
+    },
     /// The wavefront exploiting receiver-side collision detection: `Noise`
     /// verdicts settle exactly and an all-`Silence` round halts the run.
     /// Requires a CD-capable [`StackSpec`] (the registry's capability gate
@@ -265,6 +299,7 @@ impl Protocol {
     pub fn spec(&self) -> String {
         match self {
             Protocol::TrivialBfs => "trivial_bfs".into(),
+            Protocol::TrivialBfsDepth { depth } => format!("trivial_bfs:depth={depth}"),
             Protocol::TrivialBfsCd => "trivial_bfs_cd".into(),
             Protocol::DecayBfs => "decay_bfs".into(),
             Protocol::RecursiveBfs => "recursive".into(),
@@ -277,6 +312,7 @@ impl Protocol {
     pub fn label(&self) -> String {
         match self {
             Protocol::TrivialBfs => "trivial_bfs".into(),
+            Protocol::TrivialBfsDepth { depth } => format!("trivial_bfs_d{depth}"),
             Protocol::TrivialBfsCd => "trivial_bfs_cd".into(),
             Protocol::DecayBfs => "decay_bfs".into(),
             Protocol::RecursiveBfs => "recursive_bfs".into(),
@@ -337,6 +373,14 @@ pub struct ScenarioRecord {
     /// formed (clustering), or deliveries (LB sweep); a cheap cross-seed
     /// sanity signal.
     pub outcome: u64,
+    /// The *requested* node count of the cell — the `size` entry of the
+    /// scenario, before the family rounded it to a realizable instance
+    /// (grids to `⌊√size⌋²`, trees to full levels, …). Equal to [`n`] for
+    /// exact families; appended as the last JSON column so size-rounding
+    /// families can't mislabel cells (`grid` at target 1000 realizes 961).
+    ///
+    /// [`n`]: ScenarioRecord::n
+    pub target_n: usize,
 }
 
 /// Execution knobs of the scenario runner: thread count and progress
@@ -413,12 +457,15 @@ impl WorkerScratch {
 fn run_cell(
     scenario: &Scenario,
     protocol: &dyn ProtocolImpl,
-    g: &Graph,
+    g: &Arc<Graph>,
     n: usize,
+    target_n: usize,
     seed: u64,
     frame: &mut radio_protocols::LbFrame,
 ) -> ScenarioRecord {
-    let mut net = scenario.stack.build(g.clone(), seed);
+    // `Arc::clone`, not `Graph::clone`: the per-cell graph cost is a
+    // refcount bump, so setup no longer scales with |V| + |E| per seed.
+    let mut net = scenario.stack.build(Arc::clone(g), seed);
     let report = protocol
         .run_with_frame(&mut net, &ProtocolInput::from_seed(seed), frame)
         .unwrap_or_else(|e| {
@@ -443,29 +490,48 @@ fn run_cell(
         max_physical_energy: report.energy.max_physical_energy(),
         physical_slots: report.energy.physical_slots(),
         outcome: report.outcome(),
+        target_n,
     }
 }
 
-/// Runs one scenario under `config`: graphs are built once per size, then
-/// the `sizes × seeds` cells are distributed over the worker pool and the
-/// records collected in cell order (size-major, seed-minor — the serial
-/// order). Every worker owns one reusable frame.
-pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<ScenarioRecord> {
+/// Runs one scenario under `config`: graphs are materialized once per size
+/// — through the dataset `cache` when one is given (generator output
+/// compiled to a content-addressed CSR artifact on first use, bulk-read on
+/// every later run), from the generator otherwise — then the `sizes ×
+/// seeds` cells are distributed over the worker pool and the records
+/// collected in cell order (size-major, seed-minor — the serial order).
+/// Either way every worker shares the one immutable `Arc<Graph>` per size;
+/// per-cell stack construction is a refcount bump. Every worker owns one
+/// reusable frame.
+///
+/// The cache affects *where graph bytes come from*, never what they are:
+/// artifacts round-trip the CSR exactly (pinned by the dataset round-trip
+/// tests), so records are byte-identical with and without a cache.
+pub fn run_scenario_with_cache(
+    scenario: &Scenario,
+    config: &RunnerConfig,
+    cache: Option<&DatasetCache>,
+) -> Vec<ScenarioRecord> {
     // Resolve the protocol once per scenario; the boxed protocol is
     // stateless (`Send + Sync`), so all workers share it by reference.
     let protocol = energy_bfs::protocol::registry()
         .get(&scenario.protocol.spec())
         .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name));
-    // Graph construction is deterministic and cheap next to protocol
-    // execution, so sizes are materialized up front on the caller's thread
-    // and shared immutably with the workers.
-    let graphs: Vec<(Graph, usize)> = scenario
+    // Graph construction is deterministic, so sizes are materialized up
+    // front on the caller's thread and shared immutably with the workers:
+    // (shared graph, realized n, target n) per size.
+    let graphs: Vec<(Arc<Graph>, usize, usize)> = scenario
         .sizes
         .iter()
         .map(|&size| {
-            let g = scenario.family.build(size);
+            let g: Arc<Graph> = match cache {
+                Some(c) => c.load_or_build(&scenario.family.dataset_key(size), || {
+                    scenario.family.build(size)
+                }),
+                None => Arc::new(scenario.family.build(size)),
+            };
             let n = g.num_nodes();
-            (g, n)
+            (g, n, size)
         })
         .collect();
     let seeds = &scenario.seeds;
@@ -474,10 +540,24 @@ pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<Scen
     }
     let cells = graphs.len() * seeds.len();
     crate::pool::run_indexed(cells, config.threads, WorkerScratch::new, |scratch, i| {
-        let (g, n) = &graphs[i / seeds.len()];
+        let (g, n, target_n) = &graphs[i / seeds.len()];
         let seed = seeds[i % seeds.len()];
-        run_cell(scenario, &*protocol, g, *n, seed, scratch.frame_for(*n))
+        run_cell(
+            scenario,
+            &*protocol,
+            g,
+            *n,
+            *target_n,
+            seed,
+            scratch.frame_for(*n),
+        )
     })
+}
+
+/// [`run_scenario_with_cache`] without a dataset cache: graphs come
+/// straight from the generators (still shared as one `Arc` per size).
+pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<ScenarioRecord> {
+    run_scenario_with_cache(scenario, config, None)
 }
 
 /// Runs a batch of scenarios back to back under `config`. Scenarios run in
@@ -486,9 +566,21 @@ pub fn run_scenario_with(scenario: &Scenario, config: &RunnerConfig) -> Vec<Scen
 /// `config.quiet`, a completion line per scenario goes to stderr so long
 /// sweeps show progress — and a hung sweep's log shows where it stopped.
 pub fn run_scenarios_with(scenarios: &[Scenario], config: &RunnerConfig) -> Vec<ScenarioRecord> {
+    run_scenarios_with_cache(scenarios, config, None)
+}
+
+/// [`run_scenarios_with`] through an optional dataset cache: every
+/// scenario's graphs go through [`run_scenario_with_cache`], so a sweep
+/// that revisits a (family, size) pair — or a re-run of the whole sweep —
+/// bulk-reads the compiled artifact instead of re-running the generator.
+pub fn run_scenarios_with_cache(
+    scenarios: &[Scenario],
+    config: &RunnerConfig,
+    cache: Option<&DatasetCache>,
+) -> Vec<ScenarioRecord> {
     let mut records = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
-        let recs = run_scenario_with(s, config);
+        let recs = run_scenario_with_cache(s, config, cache);
         if !config.quiet {
             eprintln!(
                 "[scenarios] {}/{} {}: {} records",
@@ -747,6 +839,54 @@ pub fn default_scenarios() -> Vec<Scenario> {
     out
 }
 
+/// The `xl-` large-graph sweep behind `experiments -- scenarios --xl`:
+/// path/grid/tree/Hilbert-grid instances at n ∈ {2^18, 2^20} — the regime
+/// the dataset substrate exists for, where the asymptotic separations the
+/// paper proves start to matter and a per-cell CSR clone would dominate the
+/// sweep. Few seeds and *bounded* protocols only: the full-depth wavefront
+/// is `O(n·D)` and a million-node path would never finish, so the workloads
+/// are `trivial_bfs:depth=64` (cost ∝ the explored ball) and a short
+/// `lb_sweep`. The Hilbert family is the opt-in cache-aware layout: an
+/// isomorphic relabelling of `grid`, safe here because the abstract
+/// backend's delivery under zero failures is order-invariant (pinned by the
+/// `hilbert_relabel_is_observation_invariant` test below).
+///
+/// These scenarios are **separate from [`default_scenarios`]** — the 364
+/// default records are a byte-frozen conformance surface, and xl cells land
+/// after them only when explicitly requested (`--xl`).
+pub fn xl_scenarios() -> Vec<Scenario> {
+    let seeds: Vec<u64> = (0..2).collect();
+    let sizes = vec![1usize << 18, 1usize << 20];
+    let mut out = Vec::new();
+    for (tag, family) in [
+        ("path", Family::Path),
+        ("grid", Family::Grid),
+        ("tree3", Family::Tree { arity: 3 }),
+        ("grid-hilbert", Family::GridHilbert),
+    ] {
+        out.push(Scenario {
+            name: format!("xl-{tag}-trivial-d64"),
+            family: family.clone(),
+            sizes: sizes.clone(),
+            seeds: seeds.clone(),
+            protocol: Protocol::TrivialBfsDepth { depth: 64 },
+            stack: StackSpec::Abstract,
+        });
+    }
+    // One contention workload: bounded LB rounds on the grid, where every
+    // round floods a single sender's neighbourhood — cheap per cell but
+    // exercises the full frame machinery at 2^20 nodes.
+    out.push(Scenario {
+        name: "xl-grid-lbsweep".into(),
+        family: Family::Grid,
+        sizes,
+        seeds,
+        protocol: Protocol::LbSweep { rounds: 8 },
+        stack: StackSpec::Abstract,
+    });
+    out
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -780,7 +920,7 @@ pub fn records_to_json(records: &[ScenarioRecord]) -> String {
              \"protocol\":\"{}\",\"backend\":\"{}\",\"energy_model\":\"{}\",\
              \"lb_calls\":{},\"max_lb_energy\":{},\
              \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
-             \"outcome\":{}}}{}\n",
+             \"outcome\":{},\"target_n\":{}}}{}\n",
             json_escape(&r.scenario),
             json_escape(&r.family),
             r.n,
@@ -794,6 +934,7 @@ pub fn records_to_json(records: &[ScenarioRecord]) -> String {
             json_opt(r.max_physical_energy),
             json_opt(r.physical_slots),
             r.outcome,
+            r.target_n,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -851,10 +992,13 @@ mod tests {
             max_physical_energy: None,
             physical_slots: None,
             outcome: 4,
+            target_n: 5,
         }];
         let json = records_to_json(&records);
         assert!(json.contains("grid-\\\"big\\\"\\\\"), "escaped: {json}");
         assert!(json.contains("\"max_physical_energy\":null"));
+        // target_n is the appended (last) column — strictly after outcome.
+        assert!(json.contains("\"outcome\":4,\"target_n\":5}"), "{json}");
     }
 
     #[test]
@@ -878,6 +1022,147 @@ mod tests {
             assert!(g.num_nodes() <= 300, "{}", g.num_nodes());
             assert!(g.num_nodes() > 150, "{}", g.num_nodes());
         }
+    }
+
+    #[test]
+    fn records_carry_both_target_and_realized_n() {
+        // The size-rounding pin: grid at target 1000 realizes 31×31 = 961,
+        // and the record must carry *both* numbers so the cell can't be
+        // mislabelled as a 1000-node run.
+        let records = run_scenario(&Scenario {
+            name: "rounded".into(),
+            family: Family::Grid,
+            sizes: vec![1000],
+            seeds: vec![0],
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        });
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].n, 961);
+        assert_eq!(records[0].target_n, 1000);
+        // Exact families keep the two equal.
+        let exact = run_scenario(&Scenario {
+            name: "exact".into(),
+            family: Family::Path,
+            sizes: vec![100],
+            seeds: vec![0],
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        });
+        assert_eq!(exact[0].n, 100);
+        assert_eq!(exact[0].target_n, 100);
+    }
+
+    #[test]
+    fn hilbert_grid_is_isomorphic_to_grid_and_fixes_the_source() {
+        for size in [64usize, 256, 1000] {
+            let plain = Family::Grid.build(size);
+            let hil = Family::GridHilbert.build(size);
+            assert_eq!(plain.num_nodes(), hil.num_nodes(), "size {size}");
+            assert_eq!(plain.num_edges(), hil.num_edges(), "size {size}");
+            // Vertex 0 is the BFS source in every scenario; the Hilbert
+            // relabelling keeps it at the grid corner (degree 2).
+            assert_eq!(hil.degree(0), 2, "size {size}");
+        }
+    }
+
+    #[test]
+    fn hilbert_relabel_is_observation_invariant_for_abstract_trivial_bfs() {
+        // The order-invariance proof backing the opt-in layout: on the
+        // abstract backend with zero failures, delivery is a deterministic
+        // function of the *set* of senders — no RNG draw depends on
+        // neighbour iteration order — and trivial BFS's observables
+        // (lb_calls, max/mean energy, labelled count) are invariant under
+        // any isomorphism fixing the source. So the Hilbert grid must
+        // reproduce the plain grid's records exactly, per seed. (Clustering
+        // does NOT have this property — its per-vertex RNG draws map by
+        // vertex id — which is why the layout is per-scenario opt-in.)
+        let run = |family: Family| {
+            run_scenario(&Scenario {
+                name: "inv".into(),
+                family,
+                sizes: vec![256],
+                seeds: (0..4).collect(),
+                protocol: Protocol::TrivialBfs,
+                stack: StackSpec::Abstract,
+            })
+        };
+        for (plain, hil) in run(Family::Grid).iter().zip(run(Family::GridHilbert)) {
+            assert_eq!(plain.seed, hil.seed);
+            assert_eq!(plain.lb_calls, hil.lb_calls, "seed {}", plain.seed);
+            assert_eq!(plain.max_lb_energy, hil.max_lb_energy);
+            assert_eq!(plain.mean_lb_energy, hil.mean_lb_energy);
+            assert_eq!(plain.outcome, hil.outcome);
+        }
+    }
+
+    #[test]
+    fn depth_bounded_trivial_bfs_labels_exactly_the_horizon_ball() {
+        // The xl workload's contract: depth=D labels exactly the ≤D-ball
+        // around the source — on a path, D+1 vertices.
+        let records = run_scenario(&Scenario {
+            name: "ball".into(),
+            family: Family::Path,
+            sizes: vec![512],
+            seeds: vec![0, 1],
+            protocol: Protocol::TrivialBfsDepth { depth: 64 },
+            stack: StackSpec::Abstract,
+        });
+        for r in &records {
+            assert_eq!(r.protocol, "trivial_bfs_d64");
+            assert_eq!(r.outcome, 65, "seed {}: not the 64-ball", r.seed);
+        }
+    }
+
+    #[test]
+    fn xl_sweep_is_separate_and_uses_bounded_protocols_only() {
+        // The conformance firewall: xl scenarios never leak into the
+        // default sweep, and every xl protocol is depth- or round-bounded
+        // (a full-depth wavefront at 2^20 would be O(n·D)).
+        let xl = xl_scenarios();
+        assert!(!xl.is_empty());
+        for s in &xl {
+            assert!(s.name.starts_with("xl-"), "{}", s.name);
+            assert!(
+                matches!(
+                    s.protocol,
+                    Protocol::TrivialBfsDepth { .. } | Protocol::LbSweep { .. }
+                ),
+                "{}: unbounded protocol in the xl sweep",
+                s.name
+            );
+            assert_eq!(s.sizes, vec![1 << 18, 1 << 20]);
+        }
+        let default_names: std::collections::BTreeSet<String> =
+            default_scenarios().iter().map(|s| s.name.clone()).collect();
+        for s in &xl {
+            assert!(!default_names.contains(&s.name));
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_produce_identical_records() {
+        // The dataset cache changes where graph bytes come from, never what
+        // they are: a cold-cache run (generator → artifact), a warm-cache
+        // run (artifact → bulk read), and a no-cache run must all emit the
+        // same records.
+        let dir = std::env::temp_dir().join(format!(
+            "radio-bench-cache-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let cache = DatasetCache::new(&dir);
+        let sweep = small_sweep();
+        let cfg = RunnerConfig::serial();
+        let uncached = run_scenarios_with_cache(&sweep, &cfg, None);
+        let cold = run_scenarios_with_cache(&sweep, &cfg, Some(&cache));
+        assert!(cache.misses() > 0, "cold run must compile artifacts");
+        let hits_before = cache.hits();
+        let warm = run_scenarios_with_cache(&sweep, &cfg, Some(&cache));
+        assert!(cache.hits() > hits_before, "warm run must hit the cache");
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1001,6 +1286,7 @@ mod tests {
         let registry = energy_bfs::protocol::registry();
         let variants = [
             Protocol::TrivialBfs,
+            Protocol::TrivialBfsDepth { depth: 64 },
             Protocol::TrivialBfsCd,
             Protocol::DecayBfs,
             Protocol::RecursiveBfs,

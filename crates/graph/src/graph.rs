@@ -144,6 +144,93 @@ impl Graph {
         (builder.build(), remap)
     }
 
+    /// The raw CSR arrays `(offsets, neighbors, num_edges)`.
+    ///
+    /// This is the serialization surface of the dataset layer
+    /// (`radio_graph::dataset`): two graphs are byte-identical exactly when
+    /// these parts are equal, and [`Graph::from_csr_parts`] round-trips them.
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId], usize) {
+        (&self.offsets, &self.neighbors, self.num_edges)
+    }
+
+    /// Reassembles a graph from raw CSR arrays, validating every structural
+    /// invariant the rest of the crate relies on: `offsets` is non-empty,
+    /// starts at 0, is monotone, and ends at `neighbors.len()`; every
+    /// neighbor id is in range and no adjacency list contains a self-loop,
+    /// duplicates, or out-of-order entries; and `num_edges` equals the
+    /// handshake count. Returns a description of the first violation, so
+    /// corrupt dataset artifacts are rejected instead of panicking later.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        num_edges: usize,
+    ) -> Result<Graph, String> {
+        if offsets.is_empty() {
+            return Err("offsets array is empty".into());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("offsets[0] = {} (must be 0)", offsets[0]));
+        }
+        if *offsets.last().expect("non-empty") != neighbors.len() {
+            return Err(format!(
+                "offsets end at {} but there are {} neighbor entries",
+                offsets.last().expect("non-empty"),
+                neighbors.len()
+            ));
+        }
+        let n = offsets.len() - 1;
+        let mut forward = 0usize;
+        for v in 0..n {
+            if offsets[v] > offsets[v + 1] {
+                return Err(format!(
+                    "offsets not monotone at vertex {v}: {} > {}",
+                    offsets[v],
+                    offsets[v + 1]
+                ));
+            }
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            for (i, &u) in row.iter().enumerate() {
+                if u >= n {
+                    return Err(format!("neighbor {u} of vertex {v} out of range n={n}"));
+                }
+                if u == v {
+                    return Err(format!("self-loop at vertex {v}"));
+                }
+                if i > 0 && row[i - 1] >= u {
+                    return Err(format!(
+                        "adjacency of vertex {v} not strictly sorted: {} then {u}",
+                        row[i - 1]
+                    ));
+                }
+                if v < u {
+                    forward += 1;
+                }
+            }
+        }
+        if forward != num_edges {
+            return Err(format!(
+                "edge count mismatch: header says {num_edges}, adjacency holds {forward}"
+            ));
+        }
+        // Symmetry: every (v, u) needs its mirror (u, v). Each row is sorted,
+        // so the membership probe is a binary search.
+        for v in 0..n {
+            for &u in &neighbors[offsets[v]..offsets[v + 1]] {
+                if neighbors[offsets[u]..offsets[u + 1]]
+                    .binary_search(&v)
+                    .is_err()
+                {
+                    return Err(format!("edge ({v}, {u}) has no mirror entry"));
+                }
+            }
+        }
+        Ok(Graph {
+            offsets,
+            neighbors,
+            num_edges,
+        })
+    }
+
     /// Relabels vertices according to `perm`, where `perm[old] = new`.
     ///
     /// `perm` must be a permutation of `0..n`.

@@ -21,6 +21,10 @@
 //!   Theorem 5.2.
 //! * [`arboricity`] — degeneracy/arboricity estimation used to validate the
 //!   sparsity claims of the lower-bound graphs.
+//! * [`dataset`] — shared immutable CSR datasets: deterministic generator
+//!   outputs compiled once into content-addressed binary artifacts and
+//!   bulk-read into `Arc<Graph>`s shared across worker pools, plus the
+//!   opt-in Hilbert-curve grid layout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +33,7 @@ pub mod arboricity;
 pub mod bfs;
 pub mod cluster_graph;
 pub mod components;
+pub mod dataset;
 pub mod diameter;
 pub mod exponential;
 pub mod generators;

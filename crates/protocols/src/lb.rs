@@ -19,6 +19,8 @@
 //! [`StackBuilder`](crate::StackBuilder); see [`crate::stack`] for the
 //! trait surface and the capability matrix.
 
+use std::sync::Arc;
+
 use radio_graph::Graph;
 use radio_sim::{
     decay_local_broadcast, decay_local_broadcast_cd, CollisionDetection, DecayParams, DecayScratch,
@@ -68,7 +70,7 @@ pub fn local_broadcast_once(
 /// delivery failed despite sending neighbours.
 #[derive(Clone, Debug)]
 pub struct AbstractLbNetwork {
-    graph: Graph,
+    graph: Arc<Graph>,
     global_n: usize,
     cd: CollisionDetection,
     ledger: Option<LbLedger>,
@@ -81,7 +83,7 @@ pub struct AbstractLbNetwork {
 
 impl AbstractLbNetwork {
     pub(crate) fn from_builder(
-        graph: Graph,
+        graph: Arc<Graph>,
         global_n: usize,
         cd: CollisionDetection,
         ledger: bool,
@@ -221,7 +223,7 @@ pub struct PhysicalLbNetwork {
 
 impl PhysicalLbNetwork {
     pub(crate) fn from_builder(
-        graph: Graph,
+        graph: Arc<Graph>,
         global_n: usize,
         cd: CollisionDetection,
         ledger: bool,

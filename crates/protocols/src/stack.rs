@@ -45,6 +45,8 @@
 //! # let _ = abstract_stack.new_frame();
 //! ```
 
+use std::sync::Arc;
+
 use radio_graph::Graph;
 use radio_sim::{CollisionDetection, DecayParams, EnergyModel};
 
@@ -395,7 +397,7 @@ enum Backend {
 /// collision detection, uniform energy model, per-node ledger on, seed 0.
 #[derive(Clone, Debug)]
 pub struct StackBuilder {
-    graph: Graph,
+    graph: Arc<Graph>,
     backend: Backend,
     energy_model: EnergyModel,
     cd: CollisionDetection,
@@ -408,9 +410,14 @@ pub struct StackBuilder {
 
 impl StackBuilder {
     /// Starts a builder over `graph` with the defaults above.
-    pub fn new(graph: Graph) -> Self {
+    ///
+    /// Accepts either an owned [`Graph`] or an `Arc<Graph>`; pass a shared
+    /// `Arc` when many stacks are built over one topology (e.g. the sweep
+    /// runner's per-seed cells) so construction is a refcount bump rather
+    /// than a CSR copy.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
         StackBuilder {
-            graph,
+            graph: graph.into(),
             backend: Backend::Abstract,
             energy_model: EnergyModel::Uniform,
             cd: CollisionDetection::None,

@@ -1,6 +1,7 @@
 //! The synchronous radio channel: one round of the `RN[b]` model.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use radio_graph::{Graph, NodeId};
 
@@ -41,7 +42,7 @@ impl ResolveScratch {
 /// finite budget is configured.
 #[derive(Clone, Debug)]
 pub struct RadioNetwork<M> {
-    graph: Graph,
+    graph: Arc<Graph>,
     cd: CollisionDetection,
     budget: MessageBudget,
     meter: EnergyMeter,
@@ -52,7 +53,12 @@ pub struct RadioNetwork<M> {
 impl<M: Payload> RadioNetwork<M> {
     /// Creates a network over `graph` with no collision detection and an
     /// unlimited message budget.
-    pub fn new(graph: Graph) -> Self {
+    ///
+    /// Accepts either an owned [`Graph`] or a pre-shared `Arc<Graph>`; the
+    /// latter makes per-cell network construction a refcount bump instead of
+    /// a full CSR copy when many cells share one topology.
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        let graph = graph.into();
         let n = graph.num_nodes();
         RadioNetwork {
             graph,
