@@ -29,6 +29,27 @@
 //! * `--xl` — append the `xl-` large-graph scenarios (n up to 2^20) after
 //!   the default sweep. Off by default: the 364 default records are the
 //!   frozen conformance surface, xl cells are strictly append-only.
+//!
+//! Result store knobs (scenarios and serve):
+//!
+//! * `--result-dir <path>` — where per-cell record artifacts live (default
+//!   `target/results`). The runner consults the store before dispatching
+//!   anything, so a warm re-run computes only absent cells — and the JSON
+//!   stays byte-identical to an uncached run at every thread count.
+//! * `--no-result-cache` — recompute every cell (the pre-store behaviour).
+//!
+//! Server mode — sweep-as-a-service:
+//!
+//! ```text
+//! cargo run -p radio-bench --release --bin experiments -- serve --listen 127.0.0.1:7171
+//! ```
+//!
+//! accepts line-delimited JSON requests over TCP (`{"cmd":"run",…}`,
+//! `{"cmd":"stats"}`, `{"cmd":"shutdown"}`), validates specs through the
+//! protocol registry (unknown specs come back as structured errors
+//! mirroring this binary's exit-2 contract), shards cells across the same
+//! worker pool, and answers from the result store when warm. `--listen`
+//! defaults to `127.0.0.1:0` (an ephemeral port, printed on stderr).
 
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
@@ -65,6 +86,9 @@ fn main() {
     let mut protocol_filter: Option<String> = None;
     let mut dataset_dir = String::from("target/datasets");
     let mut use_dataset_cache = true;
+    let mut result_dir = String::from("target/results");
+    let mut use_result_cache = true;
+    let mut listen: Option<String> = None;
     let mut xl = false;
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -89,13 +113,65 @@ fn main() {
             dataset_dir = v.to_string();
         } else if lower == "--no-dataset-cache" {
             use_dataset_cache = false;
+        } else if lower == "--result-dir" {
+            result_dir = it
+                .next()
+                .unwrap_or_else(|| die("--result-dir needs a path"));
+        } else if let Some(v) = arg.strip_prefix("--result-dir=") {
+            result_dir = v.to_string();
+        } else if lower == "--no-result-cache" {
+            use_result_cache = false;
+        } else if lower == "--listen" {
+            listen = Some(
+                it.next()
+                    .unwrap_or_else(|| die("--listen needs an address")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--listen=") {
+            listen = Some(v.to_string());
         } else if lower == "--xl" {
             xl = true;
         } else if lower.starts_with("--") {
-            die(&format!("unknown flag {arg}"));
+            die(&format!("unknown flag {arg}\n{USAGE}"));
         } else {
             ids.push(lower);
         }
+    }
+    // `serve` is exclusive: a long-running server has no business being
+    // interleaved with batch experiments, and `--listen` means nothing
+    // outside it.
+    if ids.iter().any(|a| a == "serve") {
+        if ids.len() > 1 {
+            die("serve cannot be combined with other experiment ids");
+        }
+        if protocol_filter.is_some() || xl {
+            die("--protocol/--xl do not apply to serve");
+        }
+        if !use_result_cache {
+            die("serve needs the result store; drop --no-result-cache");
+        }
+        let cache = use_dataset_cache.then(|| radio_graph::dataset::DatasetCache::new(dataset_dir));
+        let results = radio_bench::results::ResultStore::new(&result_dir);
+        let addr = listen.as_deref().unwrap_or("127.0.0.1:0");
+        let listener = std::net::TcpListener::bind(addr)
+            .unwrap_or_else(|e| die(&format!("--listen {addr}: {e}")));
+        let local = listener.local_addr().expect("bound socket has an address");
+        eprintln!("[serve] listening on {local} (result store {result_dir})");
+        let summary = radio_bench::server::serve(listener, &runner, cache.as_ref(), &results)
+            .unwrap_or_else(|e| die(&format!("serve: {e}")));
+        eprintln!(
+            "[serve] done: requests={} served={} computed={}",
+            summary.requests, summary.served, summary.computed
+        );
+        eprintln!(
+            "[results] dir={} hits={} misses={}",
+            results.dir().display(),
+            results.hits(),
+            results.misses()
+        );
+        return;
+    }
+    if listen.is_some() {
+        die("--listen only applies to serve");
     }
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     let wants = |id: &str| run_all || ids.iter().any(|a| a == id);
@@ -160,9 +236,21 @@ fn main() {
     }
     if wants("scenarios") {
         let cache = use_dataset_cache.then(|| radio_graph::dataset::DatasetCache::new(dataset_dir));
-        scenario_sweeps(&runner, protocol_filter.as_deref(), cache.as_ref(), xl);
+        let results = use_result_cache.then(|| radio_bench::results::ResultStore::new(result_dir));
+        scenario_sweeps(
+            &runner,
+            protocol_filter.as_deref(),
+            cache.as_ref(),
+            results.as_ref(),
+            xl,
+        );
     }
 }
+
+const USAGE: &str = "usage: experiments [all | e1..e14 | scenarios | serve] \
+[--threads N] [--quiet] [--protocol <spec>] [--xl] \
+[--dataset-dir <path>] [--no-dataset-cache] \
+[--result-dir <path>] [--no-result-cache] [--listen <addr>]";
 
 fn die(msg: &str) -> ! {
     eprintln!("experiments: {msg}");
@@ -199,15 +287,20 @@ fn sweep_protocol_specs(scenarios: &[radio_bench::scenarios::Scenario]) -> Vec<S
 /// With a dataset `cache`, graphs come from compiled CSR artifacts under
 /// the cache directory (generator output on first use, bulk read after);
 /// the hit/miss tally goes to stderr so CI can assert cache behaviour.
-/// `xl` appends the large-graph scenarios after the default sweep.
+/// With a `results` store, the sweep is *incremental*: cells whose result
+/// artifact is already present are answered from disk, only absent cells
+/// go to the worker pool, and fresh records are written back — the
+/// `[results]` tally on stderr is what the CI smoke asserts. `xl` appends
+/// the large-graph scenarios after the default sweep.
 fn scenario_sweeps(
     runner: &radio_bench::scenarios::RunnerConfig,
     protocol_filter: Option<&str>,
     cache: Option<&radio_graph::dataset::DatasetCache>,
+    results: Option<&radio_bench::results::ResultStore>,
     xl: bool,
 ) {
     use radio_bench::scenarios::{
-        default_scenarios, records_to_json, run_scenarios_with_cache, xl_scenarios,
+        default_scenarios, records_to_json, run_scenarios_with_stores, xl_scenarios,
     };
     let mut scenarios = default_scenarios();
     if xl {
@@ -232,7 +325,7 @@ fn scenario_sweeps(
         "batched multi-seed sweeps (6-32 seeds per family/size)",
     );
     let started = std::time::Instant::now();
-    let records = run_scenarios_with_cache(&scenarios, runner, cache);
+    let records = run_scenarios_with_stores(&scenarios, runner, cache, results);
     // Wall-clock and cache tallies go to stderr only: the table and the
     // JSON must stay byte-identical across runs and thread counts.
     if !runner.quiet {
@@ -249,6 +342,14 @@ fn scenario_sweeps(
             c.dir().display(),
             c.hits(),
             c.misses()
+        );
+    }
+    if let Some(store) = results {
+        eprintln!(
+            "[results] dir={} hits={} misses={}",
+            store.dir().display(),
+            store.hits(),
+            store.misses()
         );
     }
     let mut rows = Vec::new();

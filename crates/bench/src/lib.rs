@@ -10,12 +10,22 @@
 //! [`scenarios::Protocol`] variant's spec once per scenario, and
 //! `experiments -- scenarios --protocol <spec>` validates CLI filters
 //! through the same path.
+//!
+//! Sweeps are *incremental*: [`results`] is a content-addressed store of
+//! per-cell [`scenarios::ScenarioRecord`] artifacts, consulted by the
+//! runner before any cell is dispatched, and [`server`] turns the whole
+//! pipeline into a long-running service (`experiments -- serve`) answering
+//! line-delimited JSON requests ([`json`] is the dependency-free parser)
+//! from the store when warm.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod pool;
+pub mod results;
 pub mod scenarios;
+pub mod server;
 
 pub use energy_bfs::protocol::registry;
 

@@ -27,6 +27,14 @@
 //! seeds ⇒ identical JSON. That property is what lets sweeps be diffed
 //! across commits the way `BENCH_*.json` files are.
 //!
+//! Determinism is also what makes records *cacheable*: a cell's record is a
+//! pure function of its [`ResultKey`] (scenario, family, target size, seed,
+//! protocol spec, stack, active set) plus the engine fingerprint, so
+//! [`run_scenario_with_stores`] can consult a [`ResultStore`] before
+//! dispatching anything and compute only the absent cells — the
+//! incremental-sweep discipline behind `experiments`' warm re-runs and the
+//! `serve` mode.
+//!
 //! Seeds within a scenario are independent — each (size, seed) cell builds
 //! its own seeded stack and draws from its own seeded RNG — so the runner
 //! executes cells on a [`crate::pool`] worker pool: work items go out
@@ -42,8 +50,12 @@ use std::sync::Arc;
 use radio_graph::dataset::{self, DatasetCache, DatasetKey};
 use radio_graph::lower_bound::build_disjointness_graph;
 use radio_graph::{generators, Graph};
-use radio_protocols::protocol::{Protocol as ProtocolImpl, ProtocolInput};
+use radio_protocols::protocol::{
+    Protocol as ProtocolImpl, ProtocolError, ProtocolInput, ProtocolRegistry,
+};
 use radio_protocols::{EnergyModel, RadioStack, Stack, StackBuilder};
+
+use crate::results::{ResultKey, ResultStore};
 
 /// Graph family of a scenario. `size` is always the *target node count*;
 /// families that cannot hit it exactly (grids, trees, disjointness
@@ -166,6 +178,33 @@ impl Family {
         }
     }
 
+    /// The inverse of [`Family::label`]: parses a family label back into
+    /// the family — how the `serve` mode's ad-hoc requests name workloads.
+    /// `tree{k}` decodes the arity (≥ 2); an unknown label is `None`.
+    pub fn parse(label: &str) -> Option<Family> {
+        Some(match label {
+            "path" => Family::Path,
+            "cycle" => Family::Cycle,
+            "grid" => Family::Grid,
+            "grid_hilbert" => Family::GridHilbert,
+            "star" => Family::Star,
+            "lollipop" => Family::Lollipop,
+            "kn" => Family::Complete,
+            "kn_minus_e" => Family::CompleteMinusEdge,
+            "disj_overlap" => Family::Disjointness { intersecting: true },
+            "disj_disjoint" => Family::Disjointness {
+                intersecting: false,
+            },
+            other => {
+                let arity: usize = other.strip_prefix("tree")?.parse().ok()?;
+                if arity < 2 {
+                    return None;
+                }
+                Family::Tree { arity }
+            }
+        })
+    }
+
     /// The content-address of this family's instance at the given *target*
     /// size, for [`DatasetCache`] lookups. [`Family::label`] already encodes
     /// every generator parameter (arity, intersection, layout), so the label
@@ -174,6 +213,22 @@ impl Family {
     pub fn dataset_key(&self, size: usize) -> DatasetKey {
         DatasetKey::new(self.label(), "", size)
     }
+}
+
+/// The inverse of `EnergyModel::label`: `uniform`, or `w{listen}l{transmit}t`
+/// (e.g. `w1l4t` = listen 1, transmit 4).
+fn parse_energy_model(label: &str) -> Option<EnergyModel> {
+    if label == "uniform" {
+        return Some(EnergyModel::Uniform);
+    }
+    let (listen, transmit) = label
+        .strip_prefix('w')?
+        .strip_suffix('t')?
+        .split_once('l')?;
+    Some(EnergyModel::Weighted {
+        listen: listen.parse().ok()?,
+        transmit: transmit.parse().ok()?,
+    })
 }
 
 /// Number of nodes of the complete `k`-ary tree with `levels` levels.
@@ -220,6 +275,45 @@ impl StackSpec {
             cd,
             model: EnergyModel::Uniform,
         }
+    }
+
+    /// A canonical label naming the stack *spec* (not the built stack):
+    /// `abstract`, `abstract_cd`, `physical`, `physical_cd`, with a
+    /// non-uniform energy model appended as `physical:w1l4t`. This is the
+    /// stack coordinate of a [`ResultKey`] and the `stack` field of serve
+    /// requests; [`StackSpec::parse`] is its exact inverse (pinned by a
+    /// test below).
+    pub fn label(&self) -> String {
+        match self {
+            StackSpec::Abstract => "abstract".into(),
+            StackSpec::AbstractCd => "abstract_cd".into(),
+            StackSpec::Physical { cd, model } => {
+                let base = if *cd { "physical_cd" } else { "physical" };
+                match model {
+                    EnergyModel::Uniform => base.into(),
+                    weighted => format!("{base}:{}", weighted.label()),
+                }
+            }
+        }
+    }
+
+    /// The inverse of [`StackSpec::label`]; an unknown label is `None`.
+    pub fn parse(label: &str) -> Option<StackSpec> {
+        match label {
+            "abstract" => return Some(StackSpec::Abstract),
+            "abstract_cd" => return Some(StackSpec::AbstractCd),
+            _ => {}
+        }
+        let (base, model) = match label.split_once(':') {
+            None => (label, EnergyModel::Uniform),
+            Some((base, model)) => (base, parse_energy_model(model)?),
+        };
+        let cd = match base {
+            "physical" => false,
+            "physical_cd" => true,
+            _ => return None,
+        };
+        Some(StackSpec::Physical { cd, model })
     }
 
     /// Builds the stack for one seeded run over a shared topology — an
@@ -289,6 +383,18 @@ pub enum Protocol {
         /// Number of Local-Broadcast rounds.
         rounds: u64,
     },
+    /// An arbitrary registry spec with its resolved label — what the
+    /// `serve` mode's ad-hoc requests parse into. Construct through
+    /// [`Protocol::from_spec`], which validates the spec against the
+    /// registry and captures the resolved protocol's name as the label;
+    /// a hand-built variant with a label the registry would not produce
+    /// breaks the label/registry agreement the runner relies on.
+    Custom {
+        /// The registry spec, e.g. `recursive:b=8`.
+        spec: String,
+        /// The resolved protocol's name (what records carry).
+        label: String,
+    },
 }
 
 impl Protocol {
@@ -305,6 +411,7 @@ impl Protocol {
             Protocol::RecursiveBfs => "recursive".into(),
             Protocol::Clustering { inv_beta } => format!("clustering:b={inv_beta}"),
             Protocol::LbSweep { rounds } => format!("lb_sweep:r={rounds}"),
+            Protocol::Custom { spec, .. } => spec.clone(),
         }
     }
 
@@ -318,7 +425,20 @@ impl Protocol {
             Protocol::RecursiveBfs => "recursive_bfs".into(),
             Protocol::Clustering { inv_beta } => format!("clustering_b{inv_beta}"),
             Protocol::LbSweep { rounds } => format!("lb_sweep_{rounds}"),
+            Protocol::Custom { label, .. } => label.clone(),
         }
+    }
+
+    /// Parses an arbitrary registry spec into a [`Protocol::Custom`],
+    /// validating it through `registry` — an unknown or malformed spec is
+    /// the registry's typed error (the same one the CLI's exit-2 path and
+    /// the server's structured error response surface to users).
+    pub fn from_spec(spec: &str, registry: &ProtocolRegistry) -> Result<Protocol, ProtocolError> {
+        let resolved = registry.get(spec)?;
+        Ok(Protocol::Custom {
+            spec: spec.to_string(),
+            label: resolved.name().as_str().to_string(),
+        })
     }
 }
 
@@ -338,6 +458,25 @@ pub struct Scenario {
     pub protocol: Protocol,
     /// Backend the protocol runs on.
     pub stack: StackSpec,
+}
+
+impl Scenario {
+    /// The [`ResultStore`] identity of this scenario's (target size, seed)
+    /// cell, optionally under a restricted active set. Everything the
+    /// cell's deterministic record depends on is in here — scenario name,
+    /// family, target size, seed, protocol spec, stack label, active set —
+    /// and the engine fingerprint rides in the artifact header.
+    pub fn result_key(&self, target_n: usize, seed: u64, active: Option<&[usize]>) -> ResultKey {
+        ResultKey {
+            scenario: self.name.clone(),
+            family: self.family.label(),
+            target_n,
+            seed,
+            protocol_spec: self.protocol.spec(),
+            stack: self.stack.label(),
+            active: active.map(<[usize]>::to_vec),
+        }
+    }
 }
 
 /// Deterministic per-run metrics of one (size, seed) cell.
@@ -457,17 +596,22 @@ impl WorkerScratch {
 fn run_cell(
     scenario: &Scenario,
     protocol: &dyn ProtocolImpl,
-    g: &Arc<Graph>,
-    n: usize,
-    target_n: usize,
+    graph: &(Arc<Graph>, usize, usize),
     seed: u64,
+    active: Option<&[usize]>,
     frame: &mut radio_protocols::LbFrame,
 ) -> ScenarioRecord {
+    let (g, n, target_n) = graph;
+    let (n, target_n) = (*n, *target_n);
     // `Arc::clone`, not `Graph::clone`: the per-cell graph cost is a
     // refcount bump, so setup no longer scales with |V| + |E| per seed.
     let mut net = scenario.stack.build(Arc::clone(g), seed);
+    let mut input = ProtocolInput::from_seed(seed);
+    if let Some(set) = active {
+        input = input.with_active(set.to_vec());
+    }
     let report = protocol
-        .run_with_frame(&mut net, &ProtocolInput::from_seed(seed), frame)
+        .run_with_frame(&mut net, &input, frame)
         .unwrap_or_else(|e| {
             panic!(
                 "scenario {:?} (protocol {}, seed {seed}): {e}",
@@ -512,46 +656,118 @@ pub fn run_scenario_with_cache(
     config: &RunnerConfig,
     cache: Option<&DatasetCache>,
 ) -> Vec<ScenarioRecord> {
-    // Resolve the protocol once per scenario; the boxed protocol is
-    // stateless (`Send + Sync`), so all workers share it by reference.
-    let protocol = energy_bfs::protocol::registry()
-        .get(&scenario.protocol.spec())
-        .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name));
-    // Graph construction is deterministic, so sizes are materialized up
-    // front on the caller's thread and shared immutably with the workers:
-    // (shared graph, realized n, target n) per size.
-    let graphs: Vec<(Arc<Graph>, usize, usize)> = scenario
-        .sizes
-        .iter()
-        .map(|&size| {
-            let g: Arc<Graph> = match cache {
-                Some(c) => c.load_or_build(&scenario.family.dataset_key(size), || {
-                    scenario.family.build(size)
-                }),
-                None => Arc::new(scenario.family.build(size)),
-            };
-            let n = g.num_nodes();
-            (g, n, size)
-        })
-        .collect();
+    run_scenario_with_stores(scenario, config, cache, None, None)
+}
+
+/// The full-substrate entry point: [`run_scenario_with_cache`] plus an
+/// optional [`ResultStore`] consulted *before* any cell is dispatched, and
+/// an optional restricted active set threaded into every cell's
+/// [`ProtocolInput`].
+///
+/// The incremental discipline: every (size, seed) cell's [`ResultKey`] is
+/// probed first — keys are over the *target* size, so a fully warm scenario
+/// never materializes a graph at all — and only the missing cells go to the
+/// worker pool (graphs are built lazily, only for sizes that still have at
+/// least one miss). Freshly computed records are written back on the
+/// caller's thread. Because artifacts round-trip records bit-exactly
+/// (`mean_lb_energy` is stored as raw f64 bits, not its printed form), a
+/// warm run's record vector — and hence its JSON — is byte-identical to a
+/// cold or uncached run at every thread count.
+pub fn run_scenario_with_stores(
+    scenario: &Scenario,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: Option<&ResultStore>,
+    active: Option<&[usize]>,
+) -> Vec<ScenarioRecord> {
     let seeds = &scenario.seeds;
-    if seeds.is_empty() || graphs.is_empty() {
+    if seeds.is_empty() || scenario.sizes.is_empty() {
         return Vec::new();
     }
-    let cells = graphs.len() * seeds.len();
-    crate::pool::run_indexed(cells, config.threads, WorkerScratch::new, |scratch, i| {
-        let (g, n, target_n) = &graphs[i / seeds.len()];
-        let seed = seeds[i % seeds.len()];
-        run_cell(
-            scenario,
-            &*protocol,
-            g,
-            *n,
-            *target_n,
-            seed,
-            scratch.frame_for(*n),
-        )
-    })
+    let cells = scenario.sizes.len() * seeds.len();
+    // Probe the store for every cell up front (cell order: size-major,
+    // seed-minor — the serial order the record vector keeps).
+    let mut slots: Vec<Option<ScenarioRecord>> = vec![None; cells];
+    if let Some(store) = results {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let target_n = scenario.sizes[i / seeds.len()];
+            let seed = seeds[i % seeds.len()];
+            *slot = store.get(&scenario.result_key(target_n, seed, active));
+        }
+    }
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    if !missing.is_empty() {
+        // Resolve the protocol once per scenario; the boxed protocol is
+        // stateless (`Send + Sync`), so all workers share it by reference.
+        let protocol = energy_bfs::protocol::registry()
+            .get(&scenario.protocol.spec())
+            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name));
+        // Graph construction is deterministic, so sizes are materialized up
+        // front on the caller's thread and shared immutably with the
+        // workers: (shared graph, realized n, target n) per size — but only
+        // for sizes that still have at least one missing cell.
+        let graphs: Vec<Option<(Arc<Graph>, usize, usize)>> = scenario
+            .sizes
+            .iter()
+            .enumerate()
+            .map(|(si, &size)| {
+                if !missing.iter().any(|&i| i / seeds.len() == si) {
+                    return None;
+                }
+                let g: Arc<Graph> = match datasets {
+                    Some(c) => c.load_or_build(&scenario.family.dataset_key(size), || {
+                        scenario.family.build(size)
+                    }),
+                    None => Arc::new(scenario.family.build(size)),
+                };
+                let n = g.num_nodes();
+                Some((g, n, size))
+            })
+            .collect();
+        // The pool runs over the *missing* indices only; collect-by-index
+        // keeps the computed records in cell order regardless of thread
+        // count, exactly as in a full dispatch.
+        let computed = crate::pool::run_indexed(
+            missing.len(),
+            config.threads,
+            WorkerScratch::new,
+            |scratch, j| {
+                let i = missing[j];
+                let graph = graphs[i / seeds.len()]
+                    .as_ref()
+                    .expect("graph materialized for every size with a miss");
+                let seed = seeds[i % seeds.len()];
+                run_cell(
+                    scenario,
+                    &*protocol,
+                    graph,
+                    seed,
+                    active,
+                    scratch.frame_for(graph.1),
+                )
+            },
+        );
+        for (j, record) in computed.into_iter().enumerate() {
+            let i = missing[j];
+            if let Some(store) = results {
+                let target_n = scenario.sizes[i / seeds.len()];
+                store
+                    .put(&scenario.result_key(target_n, record.seed, active), &record)
+                    .unwrap_or_else(|e| {
+                        panic!("scenario {:?}: writing result artifact: {e}", scenario.name)
+                    });
+            }
+            slots[i] = Some(record);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell probed or computed"))
+        .collect()
 }
 
 /// [`run_scenario_with_cache`] without a dataset cache: graphs come
@@ -578,9 +794,25 @@ pub fn run_scenarios_with_cache(
     config: &RunnerConfig,
     cache: Option<&DatasetCache>,
 ) -> Vec<ScenarioRecord> {
+    run_scenarios_with_stores(scenarios, config, cache, None)
+}
+
+/// [`run_scenarios_with_cache`] through an optional [`ResultStore`] as
+/// well: every scenario goes through [`run_scenario_with_stores`], so an
+/// incremental sweep — one that appends scenarios, seeds, or sizes to a
+/// previously stored sweep — computes exactly the absent cells and answers
+/// the rest from artifacts. The store's hit/miss counters accumulate across
+/// the batch; callers print them once at the end (the `[results]` stderr
+/// line of the `experiments` binary).
+pub fn run_scenarios_with_stores(
+    scenarios: &[Scenario],
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: Option<&ResultStore>,
+) -> Vec<ScenarioRecord> {
     let mut records = Vec::new();
     for (i, s) in scenarios.iter().enumerate() {
-        let recs = run_scenario_with_cache(s, config, cache);
+        let recs = run_scenario_with_stores(s, config, datasets, results, None);
         if !config.quiet {
             eprintln!(
                 "[scenarios] {}/{} {}: {} records",
@@ -908,6 +1140,35 @@ fn json_opt(v: Option<u64>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
 }
 
+/// One record as a single-line JSON object — the exact byte sequence
+/// [`records_to_json`] emits per record (fixed field order, floats at three
+/// decimals, `null` for absent physical counters). The serve mode reuses
+/// this for its response records, so a served record is byte-identical to
+/// the same record's line in a sweep file.
+pub fn record_json_object(r: &ScenarioRecord) -> String {
+    format!(
+        "{{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
+         \"protocol\":\"{}\",\"backend\":\"{}\",\"energy_model\":\"{}\",\
+         \"lb_calls\":{},\"max_lb_energy\":{},\
+         \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
+         \"outcome\":{},\"target_n\":{}}}",
+        json_escape(&r.scenario),
+        json_escape(&r.family),
+        r.n,
+        r.seed,
+        json_escape(&r.protocol),
+        json_escape(&r.backend),
+        json_escape(&r.energy_model),
+        r.lb_calls,
+        r.max_lb_energy,
+        r.mean_lb_energy,
+        json_opt(r.max_physical_energy),
+        json_opt(r.physical_slots),
+        r.outcome,
+        r.target_n,
+    )
+}
+
 /// Serializes records as a stable, pretty-printed JSON array: fixed field
 /// order, floats at three decimals, `null` for absent physical counters, no
 /// wall-clock fields — byte-identical across repeated runs of the same
@@ -915,28 +1176,9 @@ fn json_opt(v: Option<u64>) -> String {
 pub fn records_to_json(records: &[ScenarioRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
-             \"protocol\":\"{}\",\"backend\":\"{}\",\"energy_model\":\"{}\",\
-             \"lb_calls\":{},\"max_lb_energy\":{},\
-             \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
-             \"outcome\":{},\"target_n\":{}}}{}\n",
-            json_escape(&r.scenario),
-            json_escape(&r.family),
-            r.n,
-            r.seed,
-            json_escape(&r.protocol),
-            json_escape(&r.backend),
-            json_escape(&r.energy_model),
-            r.lb_calls,
-            r.max_lb_energy,
-            r.mean_lb_energy,
-            json_opt(r.max_physical_energy),
-            json_opt(r.physical_slots),
-            r.outcome,
-            r.target_n,
-            if i + 1 < records.len() { "," } else { "" },
-        ));
+        out.push_str("  ");
+        out.push_str(&record_json_object(r));
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
     out
@@ -1514,6 +1756,164 @@ mod tests {
                 "transmit-heavy model must charge more than uniform"
             );
         }
+    }
+
+    #[test]
+    fn family_and_stack_labels_round_trip_through_parse() {
+        // The serve mode's request fields are these labels; parse must be
+        // the exact inverse of label for every family and stack the sweeps
+        // use.
+        let families = [
+            Family::Path,
+            Family::Cycle,
+            Family::Grid,
+            Family::GridHilbert,
+            Family::Tree { arity: 3 },
+            Family::Tree { arity: 7 },
+            Family::Star,
+            Family::Lollipop,
+            Family::Complete,
+            Family::CompleteMinusEdge,
+            Family::Disjointness { intersecting: true },
+            Family::Disjointness {
+                intersecting: false,
+            },
+        ];
+        for f in families {
+            assert_eq!(Family::parse(&f.label()), Some(f.clone()), "{}", f.label());
+        }
+        assert_eq!(Family::parse("tree1"), None, "arity < 2 must be rejected");
+        assert_eq!(Family::parse("treex"), None);
+        assert_eq!(Family::parse("torus"), None);
+        let stacks = [
+            StackSpec::Abstract,
+            StackSpec::AbstractCd,
+            StackSpec::physical(false),
+            StackSpec::physical(true),
+            StackSpec::Physical {
+                cd: false,
+                model: EnergyModel::Weighted {
+                    listen: 1,
+                    transmit: 4,
+                },
+            },
+            StackSpec::Physical {
+                cd: true,
+                model: EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+            },
+        ];
+        for s in stacks {
+            assert_eq!(StackSpec::parse(&s.label()), Some(s), "{}", s.label());
+        }
+        assert_eq!(StackSpec::parse("physical:w1l4"), None);
+        assert_eq!(StackSpec::parse("quantum"), None);
+    }
+
+    #[test]
+    fn custom_protocol_resolves_through_the_registry_and_runs() {
+        let registry = energy_bfs::protocol::registry();
+        let p = Protocol::from_spec("clustering:b=3", &registry).expect("valid spec");
+        assert_eq!(p.spec(), "clustering:b=3");
+        assert_eq!(p.label(), "clustering_b3");
+        // An unknown spec is the registry's typed error, not a panic.
+        assert!(Protocol::from_spec("warp_drive", &registry).is_err());
+        // A Custom-protocol scenario runs identically to the enum variant
+        // it aliases — spec equality means registry equality means record
+        // equality.
+        let run = |protocol: Protocol| {
+            run_scenario(&Scenario {
+                name: "custom".into(),
+                family: Family::Grid,
+                sizes: vec![49],
+                seeds: (0..3).collect(),
+                protocol,
+                stack: StackSpec::Abstract,
+            })
+        };
+        let direct = run(Protocol::Clustering { inv_beta: 3 });
+        let custom = run(Protocol::from_spec("clustering:b=3", &registry).unwrap());
+        assert_eq!(direct, custom);
+    }
+
+    #[test]
+    fn result_store_makes_warm_sweeps_byte_identical_and_probe_only() {
+        // The incremental-sweep contract at unit scale: cold run computes
+        // and writes back, warm run answers every cell from artifacts, and
+        // the JSON is byte-identical across uncached/cold/warm at both the
+        // serial path and a parallel config.
+        let dir = std::env::temp_dir().join(format!(
+            "radio-bench-results-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let sweep = small_sweep();
+        let uncached = records_to_json(&run_scenarios(&sweep));
+        let store = ResultStore::new(&dir);
+        let cfg = RunnerConfig::serial();
+        let cold = records_to_json(&run_scenarios_with_stores(&sweep, &cfg, None, Some(&store)));
+        assert_eq!(store.hits(), 0, "cold run must miss every cell");
+        assert_eq!(store.misses(), 12);
+        let warm = records_to_json(&run_scenarios_with_stores(&sweep, &cfg, None, Some(&store)));
+        assert_eq!(store.hits(), 12, "warm run must hit every cell");
+        assert_eq!(store.misses(), 12, "warm run must not miss");
+        let warm4 = records_to_json(&run_scenarios_with_stores(
+            &sweep,
+            &RunnerConfig::with_threads(4),
+            None,
+            Some(&store),
+        ));
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        assert_eq!(uncached, warm4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restricted_active_sets_change_records_and_result_keys() {
+        // The active-set satellite end to end: a restricted active set
+        // reaches the protocol (the wavefront halts at the boundary) and
+        // separates the cell's result key, so cached full-set records can
+        // never answer a restricted request.
+        let scenario = Scenario {
+            name: "act".into(),
+            family: Family::Path,
+            sizes: vec![24],
+            seeds: vec![0],
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "radio-bench-active-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let store = ResultStore::new(&dir);
+        let cfg = RunnerConfig::serial();
+        let full = run_scenario_with_stores(&scenario, &cfg, None, Some(&store), None);
+        let prefix: Vec<usize> = (0..12).collect();
+        let restricted =
+            run_scenario_with_stores(&scenario, &cfg, None, Some(&store), Some(&prefix));
+        assert_eq!(full[0].outcome, 24, "full set labels the whole path");
+        assert_eq!(
+            restricted[0].outcome, 12,
+            "the wavefront must stop at the active-set boundary"
+        );
+        // Two cells, two keys: the restricted run missed (computed), it did
+        // not reuse the full-set artifact.
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.hits(), 0);
+        assert_ne!(
+            scenario.result_key(24, 0, None).content_hash(),
+            scenario.result_key(24, 0, Some(&prefix)).content_hash()
+        );
+        // And both warm up independently.
+        run_scenario_with_stores(&scenario, &cfg, None, Some(&store), Some(&prefix));
+        run_scenario_with_stores(&scenario, &cfg, None, Some(&store), None);
+        assert_eq!(store.hits(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Sweep-as-a-service: the long-running mode behind `experiments -- serve`.
+//!
+//! The server accepts line-delimited JSON requests over TCP, validates them
+//! through the same [`ProtocolRegistry`]/[`Family::parse`]/
+//! [`StackSpec::parse`] paths the CLI uses, runs the cells through
+//! [`run_scenario_with_stores`] — so every answer consults the
+//! content-addressed [`ResultStore`] first and computes only absent cells on
+//! the worker pool — and writes one JSON response line per request. A
+//! request naming a catalog scenario shares its result keys with the batch
+//! sweep, so a store warmed by `experiments -- scenarios` answers the same
+//! cells here without recomputing anything (and vice versa).
+//!
+//! The wire protocol (one request object per line, one response per line):
+//!
+//! * `{"cmd":"run","scenario":"grid32-trivial"}` — run a catalog scenario
+//!   (default or xl sweep) by name; optional `"seeds":[…]` narrows the
+//!   seed list (keys are per-cell, so partial seed lists still warm the
+//!   store for the full sweep).
+//! * `{"cmd":"run","family":"grid","size":1024,"protocol":"trivial_bfs",
+//!   "stack":"abstract","seeds":[0,1]}` — an ad-hoc cell grid; `stack`
+//!   defaults to `abstract`, `seeds` to `[0]`, and optional
+//!   `"active":[…]` restricts the protocol's active set (a distinct result
+//!   key — restricted runs never alias full-set runs). Optional `"name"`
+//!   sets the scenario coordinate of the key (default `adhoc`).
+//! * `{"cmd":"stats"}` — hit/miss/served/computed counters plus store size.
+//! * `{"cmd":"shutdown"}` — acknowledge and stop accepting.
+//!
+//! Run responses are `{"ok":true,"records":[…],"hits":H,"computed":C}` with
+//! each record emitted by [`record_json_object`] — byte-identical to the
+//! same record's line in a sweep JSON file. Every failure (unparsable line,
+//! unknown scenario/family/stack, a spec the registry rejects, a capability
+//! mismatch) is a structured `{"ok":false,"error":…,"code":2}` response
+//! mirroring the CLI's exit-2 contract; the connection, and the server,
+//! stay up.
+//!
+//! [`ProtocolRegistry`]: radio_protocols::protocol::ProtocolRegistry
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use radio_graph::dataset::DatasetCache;
+
+use crate::json::{escape, Json};
+use crate::results::ResultStore;
+use crate::scenarios::{
+    default_scenarios, record_json_object, run_scenario_with_stores, xl_scenarios, Family,
+    Protocol, RunnerConfig, Scenario, ScenarioRecord, StackSpec,
+};
+
+/// What a serve session did, returned when the accept loop exits (on a
+/// `shutdown` request or a closed listener).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (including error responses).
+    pub requests: u64,
+    /// Records returned across all `run` responses.
+    pub served: u64,
+    /// Records that had to be computed (store misses healed by running).
+    pub computed: u64,
+}
+
+/// A request-level failure, rendered as the structured error response.
+struct Refusal(String);
+
+fn refuse<T>(msg: impl Into<String>) -> Result<T, Refusal> {
+    Err(Refusal(msg.into()))
+}
+
+/// Looks up a catalog scenario (default sweep first, then xl) by name.
+fn catalog_scenario(name: &str) -> Option<Scenario> {
+    default_scenarios()
+        .into_iter()
+        .chain(xl_scenarios())
+        .find(|s| s.name == name)
+}
+
+fn u64_list(value: &Json, what: &str) -> Result<Vec<u64>, Refusal> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| Refusal(format!("{what} must be an array of non-negative integers")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| Refusal(format!("{what} must hold non-negative integers")))
+        })
+        .collect()
+}
+
+/// Decodes a `run` request into the scenario to execute plus its optional
+/// restricted active set, validating every coordinate through the same
+/// parsers the CLI uses.
+fn decode_run(request: &Json) -> Result<(Scenario, Option<Vec<usize>>), Refusal> {
+    let mut scenario = match request.get("scenario") {
+        Some(name) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| Refusal("scenario must be a string".into()))?;
+            catalog_scenario(name)
+                .ok_or_else(|| Refusal(format!("unknown scenario {name:?} (not in the catalog)")))?
+        }
+        None => {
+            let family_label = request
+                .get("family")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Refusal("run needs \"scenario\" or \"family\"".into()))?;
+            let family = Family::parse(family_label)
+                .ok_or_else(|| Refusal(format!("unknown family {family_label:?}")))?;
+            let sizes: Vec<usize> = match (request.get("size"), request.get("sizes")) {
+                (Some(one), None) => vec![one
+                    .as_u64()
+                    .ok_or_else(|| Refusal("size must be a non-negative integer".into()))?
+                    as usize],
+                (None, Some(many)) => u64_list(many, "sizes")?
+                    .into_iter()
+                    .map(|s| s as usize)
+                    .collect(),
+                (None, None) => return refuse("ad-hoc run needs \"size\" or \"sizes\""),
+                (Some(_), Some(_)) => return refuse("give \"size\" or \"sizes\", not both"),
+            };
+            let spec = request
+                .get("protocol")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Refusal("ad-hoc run needs a \"protocol\" spec".into()))?;
+            let protocol = Protocol::from_spec(spec, &energy_bfs::protocol::registry())
+                .map_err(|e| Refusal(e.to_string()))?;
+            let stack = match request.get("stack") {
+                None => StackSpec::Abstract,
+                Some(label) => {
+                    let label = label
+                        .as_str()
+                        .ok_or_else(|| Refusal("stack must be a string label".into()))?;
+                    StackSpec::parse(label)
+                        .ok_or_else(|| Refusal(format!("unknown stack {label:?}")))?
+                }
+            };
+            let name = match request.get("name") {
+                None => "adhoc".to_string(),
+                Some(n) => n
+                    .as_str()
+                    .ok_or_else(|| Refusal("name must be a string".into()))?
+                    .to_string(),
+            };
+            Scenario {
+                name,
+                family,
+                sizes,
+                seeds: vec![0],
+                protocol,
+                stack,
+            }
+        }
+    };
+    if let Some(seeds) = request.get("seeds") {
+        scenario.seeds = u64_list(seeds, "seeds")?;
+    }
+    let active = match request.get("active") {
+        None => None,
+        Some(list) => Some(
+            u64_list(list, "active")?
+                .into_iter()
+                .map(|v| v as usize)
+                .collect::<Vec<usize>>(),
+        ),
+    };
+    Ok((scenario, active))
+}
+
+/// Runs one decoded request, catching the runner's capability-mismatch
+/// panic so a bad request degrades to a structured error instead of
+/// killing the server.
+fn execute(
+    scenario: &Scenario,
+    active: Option<&[usize]>,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: &ResultStore,
+) -> Result<Vec<ScenarioRecord>, Refusal> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_scenario_with_stores(scenario, config, datasets, Some(results), active)
+    }))
+    .map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "protocol execution failed".into());
+        Refusal(msg)
+    })
+}
+
+/// Answers one request line, updating `summary`. Returns the response line
+/// and whether the server should shut down afterwards.
+fn handle_line(
+    line: &str,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: &ResultStore,
+    summary: &mut ServeSummary,
+) -> (String, bool) {
+    summary.requests += 1;
+    let outcome: Result<(String, bool), Refusal> = (|| {
+        let request = Json::parse(line).map_err(|e| Refusal(e.to_string()))?;
+        let cmd = request
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Refusal("request needs a string \"cmd\"".into()))?;
+        match cmd {
+            "run" => {
+                let (scenario, active) = decode_run(&request)?;
+                let hits_before = results.hits();
+                let misses_before = results.misses();
+                let records = execute(&scenario, active.as_deref(), config, datasets, results)?;
+                let hits = results.hits() - hits_before;
+                let computed = results.misses() - misses_before;
+                summary.served += records.len() as u64;
+                summary.computed += computed;
+                let body: Vec<String> = records.iter().map(record_json_object).collect();
+                Ok((
+                    format!(
+                        "{{\"ok\":true,\"records\":[{}],\"hits\":{hits},\"computed\":{computed}}}",
+                        body.join(",")
+                    ),
+                    false,
+                ))
+            }
+            "stats" => {
+                let size = results.size();
+                Ok((
+                    format!(
+                        "{{\"ok\":true,\"hits\":{},\"misses\":{},\"served\":{},\
+                         \"computed\":{},\"entries\":{},\"bytes\":{}}}",
+                        results.hits(),
+                        results.misses(),
+                        summary.served,
+                        summary.computed,
+                        size.entries,
+                        size.bytes
+                    ),
+                    false,
+                ))
+            }
+            "shutdown" => Ok(("{\"ok\":true,\"shutdown\":true}".into(), true)),
+            other => refuse(format!("unknown cmd {other:?} (run, stats, shutdown)")),
+        }
+    })();
+    match outcome {
+        Ok(done) => done,
+        Err(Refusal(msg)) => (
+            format!("{{\"ok\":false,\"error\":\"{}\",\"code\":2}}", escape(&msg)),
+            false,
+        ),
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: &ResultStore,
+    summary: &mut ServeSummary,
+) -> std::io::Result<bool> {
+    // One write + TCP_NODELAY per response: the request/response ping-pong
+    // otherwise trips Nagle against delayed ACKs, turning a sub-millisecond
+    // warm store read into a ~40ms round trip.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut response, shutdown) = handle_line(&line, config, datasets, results, summary);
+        response.push('\n');
+        writer.write_all(response.as_bytes())?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// The accept loop: one connection at a time (requests shard their *cells*
+/// across the worker pool, so concurrency lives inside a request, where the
+/// determinism contract already governs it), one response line per request
+/// line, until a `shutdown` request. Per-connection I/O errors drop that
+/// connection and keep serving; the returned summary is what the
+/// `experiments` binary prints on exit.
+pub fn serve(
+    listener: TcpListener,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: &ResultStore,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for stream in listener.incoming() {
+        let stream = stream?;
+        match handle_connection(stream, config, datasets, results, &mut summary) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => eprintln!("[serve] connection error: {e}"),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "radio-bench-server-{tag}-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// One in-process round trip over an ephemeral port: compute, re-answer
+    /// from the store, stats, a structured spec error, then shutdown.
+    #[test]
+    fn server_round_trips_over_an_ephemeral_port() {
+        let dir = scratch("roundtrip");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = listener.local_addr().expect("local addr");
+        let results_dir = dir.clone();
+        let server = std::thread::spawn(move || {
+            let results = ResultStore::new(results_dir);
+            serve(listener, &RunnerConfig::serial(), None, &results).expect("serve")
+        });
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let mut ask = |request: &str| -> Json {
+            writer.write_all(request.as_bytes()).expect("send");
+            writer.write_all(b"\n").expect("send newline");
+            writer.flush().expect("flush");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("response");
+            Json::parse(line.trim()).expect("response is JSON")
+        };
+
+        // Cold: every cell computed.
+        let run =
+            r#"{"cmd":"run","family":"path","size":24,"protocol":"trivial_bfs","seeds":[0,1]}"#;
+        let cold = ask(run);
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(cold.get("computed").and_then(Json::as_u64), Some(2));
+        assert_eq!(cold.get("hits").and_then(Json::as_u64), Some(0));
+        let records = cold
+            .get("records")
+            .and_then(Json::as_array)
+            .expect("records");
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            records[0].get("outcome").and_then(Json::as_u64),
+            Some(24),
+            "trivial BFS labels the whole path"
+        );
+
+        // Warm: the identical request is answered from the store.
+        let warm = ask(run);
+        assert_eq!(warm.get("computed").and_then(Json::as_u64), Some(0));
+        assert_eq!(warm.get("hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(warm.get("records"), cold.get("records"));
+
+        // A restricted active set is a different key: computed again, and
+        // the wavefront stops at the boundary.
+        let restricted = ask(
+            r#"{"cmd":"run","family":"path","size":24,"protocol":"trivial_bfs","seeds":[0],"active":[0,1,2,3,4,5,6,7,8,9,10,11]}"#,
+        );
+        assert_eq!(restricted.get("computed").and_then(Json::as_u64), Some(1));
+        let rec = &restricted.get("records").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(rec.get("outcome").and_then(Json::as_u64), Some(12));
+
+        // Stats carry the cumulative counters and a non-empty store.
+        let stats = ask(r#"{"cmd":"stats"}"#);
+        assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(stats.get("served").and_then(Json::as_u64), Some(5));
+        assert_eq!(stats.get("computed").and_then(Json::as_u64), Some(3));
+        assert_eq!(stats.get("entries").and_then(Json::as_u64), Some(3));
+
+        // An unknown protocol spec is the registry's structured error, not
+        // a dropped connection.
+        let err = ask(r#"{"cmd":"run","family":"path","size":8,"protocol":"warp_drive"}"#);
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Json::as_u64), Some(2));
+        assert!(
+            err.get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .contains("warp_drive"),
+            "error names the bad spec: {err:?}"
+        );
+
+        // And malformed JSON likewise.
+        let bad = ask("{\"cmd\":");
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+        let bye = ask(r#"{"cmd":"shutdown"}"#);
+        assert_eq!(bye.get("shutdown").and_then(Json::as_bool), Some(true));
+        let summary = server.join().expect("server thread");
+        assert_eq!(summary.served, 5);
+        assert_eq!(summary.computed, 3);
+        assert!(summary.requests >= 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A named catalog request shares keys with the batch sweep: warming
+    /// the store through the runner makes the served request all-hits.
+    #[test]
+    fn named_catalog_requests_cross_warm_with_batch_sweeps() {
+        let dir = scratch("crosswarm");
+        let results = ResultStore::new(dir.clone());
+        let scenario = catalog_scenario("grid32-trivial").expect("catalog name");
+        run_scenario_with_stores(
+            &scenario,
+            &RunnerConfig::serial(),
+            None,
+            Some(&results),
+            None,
+        );
+        let warmed_misses = results.misses();
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            serve(listener, &RunnerConfig::serial(), None, &results).expect("serve")
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for request in [
+            r#"{"cmd":"run","scenario":"grid32-trivial"}"#,
+            r#"{"cmd":"shutdown"}"#,
+        ] {
+            writer.write_all(request.as_bytes()).expect("send");
+            writer.write_all(b"\n").expect("newline");
+        }
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("run response");
+        let run = Json::parse(line.trim()).expect("JSON");
+        assert_eq!(
+            run.get("computed").and_then(Json::as_u64),
+            Some(0),
+            "a sweep-warmed store must answer the named request without recomputing"
+        );
+        assert_eq!(
+            run.get("hits").and_then(Json::as_u64),
+            Some(scenario.seeds.len() as u64)
+        );
+        let summary = server.join().expect("server thread");
+        assert_eq!(summary.computed, 0, "misses stayed at {warmed_misses}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Requests that panic inside the runner (a CD protocol on a no-CD
+    /// stack) come back as structured errors and the server keeps going.
+    #[test]
+    fn capability_mismatches_are_structured_errors_not_crashes() {
+        let dir = scratch("caps");
+        let results = ResultStore::new(dir.clone());
+        let cfg = RunnerConfig::serial();
+        let mut summary = ServeSummary::default();
+        let (response, shutdown) = handle_line(
+            r#"{"cmd":"run","family":"path","size":8,"protocol":"trivial_bfs_cd","stack":"physical"}"#,
+            &cfg,
+            None,
+            &results,
+            &mut summary,
+        );
+        assert!(!shutdown);
+        let v = Json::parse(&response).expect("JSON error response");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(
+            v.get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .contains("collision detection"),
+            "error names the missing capability: {response}"
+        );
+        // The server is still able to answer a good request afterwards.
+        let (ok_response, _) = handle_line(
+            r#"{"cmd":"run","family":"path","size":8,"protocol":"trivial_bfs"}"#,
+            &cfg,
+            None,
+            &results,
+            &mut summary,
+        );
+        let ok = Json::parse(&ok_response).expect("JSON");
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

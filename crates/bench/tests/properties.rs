@@ -15,9 +15,10 @@ use rand_chacha::ChaCha8Rng;
 
 use energy_bfs::baseline::{decay_bfs, trivial_bfs, trivial_bfs_cd};
 use energy_bfs::{build_hierarchy, recursive_bfs_with_hierarchy, RecursiveBfsConfig};
+use radio_bench::results::ResultStore;
 use radio_bench::scenarios::{
-    run_scenario, run_scenario_with, run_scenarios_with, Family, Protocol, RunnerConfig, Scenario,
-    StackSpec,
+    records_to_json, run_scenario, run_scenario_with, run_scenario_with_stores, run_scenarios_with,
+    Family, Protocol, RunnerConfig, Scenario, StackSpec,
 };
 use radio_protocols::protocol::ProtocolInput;
 use radio_protocols::{
@@ -117,6 +118,34 @@ proptest! {
                 &scenario.name, threads, i
             );
         }
+    }
+
+    #[test]
+    fn warm_result_store_runs_are_byte_identical_to_cold_at_any_thread_count(
+        (family_pick, size, seed_lo) in (0u8..64, 12usize..40, 0u64..1_000_000),
+        (seed_count, backend_pick, proto_pick, threads) in (1usize..6, 0u8..64, 0u8..64, 1usize..9),
+    ) {
+        // The incremental-sweep property: for ANY drawn scenario, a cold
+        // store-backed run and a warm one emit the same JSON bytes as the
+        // storeless serial reference — at any worker count. This is what
+        // licenses `--result-dir` as a pure wall-clock optimization.
+        let scenario = decode_scenario(
+            family_pick, size, seed_lo, seed_count, backend_pick, proto_pick,
+        );
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+            .join("prop-results")
+            .join(format!("{}-{family_pick}-{size}-{seed_lo}-{seed_count}-{backend_pick}-{proto_pick}",
+                std::process::id()));
+        let store = ResultStore::new(&dir);
+        let reference = records_to_json(&run_scenario(&scenario));
+        let cfg = RunnerConfig::with_threads(threads);
+        let cold = records_to_json(&run_scenario_with_stores(&scenario, &cfg, None, Some(&store), None));
+        prop_assert_eq!(store.misses() as usize, seed_count, "cold run computes every cell");
+        let warm = records_to_json(&run_scenario_with_stores(&scenario, &cfg, None, Some(&store), None));
+        prop_assert_eq!(store.hits() as usize, seed_count, "warm run answers every cell");
+        prop_assert_eq!(&cold, &reference, "cold store run diverged from the serial reference");
+        prop_assert_eq!(&warm, &reference, "warm store run diverged from the serial reference");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

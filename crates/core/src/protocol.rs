@@ -99,10 +99,12 @@ pub fn registry() -> ProtocolRegistry {
 /// runs the collision-detection variant and requires a CD-capable stack.
 ///
 /// Depth defaults to `n` (the historical scenario-runner horizon: on a
-/// connected graph the wavefront halts by eccentricity anyway). Sources and
-/// seed come from the [`ProtocolInput`]; the active set is the full vertex
-/// set — callers needing a restricted wavefront use the free functions,
-/// which stay public precisely for composition inside larger algorithms.
+/// connected graph the wavefront halts by eccentricity anyway). Sources,
+/// seed, and the active set come from the [`ProtocolInput`]: with
+/// `input.active = None` the whole vertex set participates (the exact
+/// historical behaviour), while a restricted set runs the recursion's
+/// base-case workload — the same `active: &[bool]` the free functions have
+/// always taken, now expressible through the registry.
 #[derive(Clone, Debug)]
 pub struct TrivialBfsProtocol {
     /// Explicit depth bound; `None` defers to the input/default.
@@ -140,7 +142,7 @@ impl Protocol for TrivialBfsProtocol {
     ) -> ProtocolOutput {
         let n = net.num_nodes();
         let depth = self.depth.or(input.depth).unwrap_or(n as u64);
-        let active = vec![true; n];
+        let active = input.active_mask(n);
         let result = if self.cd {
             trivial_bfs_cd_with_frame(net, &input.sources, &active, depth, frame)
         } else {
@@ -310,6 +312,56 @@ mod tests {
         assert_eq!(report.output.distances().unwrap(), &direct.dist[..]);
         assert_eq!(report.energy, net.energy_view());
         assert_eq!(report.outcome(), g.num_nodes() as u64);
+    }
+
+    #[test]
+    fn restricted_active_set_matches_the_direct_call_and_none_is_full() {
+        // The ProtocolInput::active satellite: a registry-dispatched run
+        // with a restricted active set must equal the free function called
+        // with the equivalent boolean mask — and `active: None` must stay
+        // byte-for-byte the historical full-set behaviour.
+        let g = generators::path(24);
+        let proto = registry().get("trivial_bfs").unwrap();
+        let prefix: Vec<usize> = (0..12).collect();
+        let report = {
+            let mut net = StackBuilder::new(g.clone()).with_seed(7).build();
+            proto
+                .run(
+                    &mut net,
+                    &ProtocolInput::from_seed(7).with_active(prefix.clone()),
+                )
+                .unwrap()
+        };
+        // Only the 12-vertex prefix participates: the wavefront stops at
+        // the boundary.
+        assert_eq!(report.outcome(), 12);
+        let mut net = StackBuilder::new(g.clone()).with_seed(7).build();
+        let mut mask = vec![false; g.num_nodes()];
+        for &v in &prefix {
+            mask[v] = true;
+        }
+        let direct = crate::baseline::trivial_bfs(&mut net, &[0], &mask, g.num_nodes() as u64);
+        assert_eq!(report.output.distances().unwrap(), &direct.dist[..]);
+        assert_eq!(report.energy, net.energy_view());
+        // None == all vertices: identical to an explicit full set.
+        let run_with = |input: &ProtocolInput| {
+            let mut net = StackBuilder::new(g.clone()).with_seed(7).build();
+            proto.run(&mut net, input).unwrap()
+        };
+        let implicit = run_with(&ProtocolInput::from_seed(7));
+        let explicit =
+            run_with(&ProtocolInput::from_seed(7).with_active((0..g.num_nodes()).collect()));
+        assert_eq!(implicit.outcome(), explicit.outcome());
+        assert_eq!(implicit.energy, explicit.energy);
+        // Out-of-range vertices in the set are ignored, not a panic.
+        let oob = ProtocolInput::from_seed(7).with_active(vec![0, 1, 2, 999]);
+        assert_eq!(
+            oob.active_mask(g.num_nodes())
+                .iter()
+                .filter(|&&b| b)
+                .count(),
+            3
+        );
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub struct ProtocolInput {
     pub depth: Option<u64>,
     /// Seed for protocol-level randomness.
     pub seed: u64,
+    /// Optional restricted active set: the vertices allowed to participate.
+    /// `None` is the full vertex set — the historical behaviour, and what
+    /// every default-sweep cell uses. Protocols that support restriction
+    /// (the trivial wavefronts, whose free functions always took an
+    /// `active: &[bool]` parameter) run only inside the set — the
+    /// recursion's base-case workload expressed as a registry input.
+    /// Protocols without a meaningful restriction (clustering, `lb_sweep`,
+    /// the recursive driver) ignore it; result caches must still key on it,
+    /// since for honouring protocols it changes the record.
+    pub active: Option<Vec<usize>>,
 }
 
 impl Default for ProtocolInput {
@@ -99,6 +109,7 @@ impl Default for ProtocolInput {
             sources: vec![0],
             depth: None,
             seed: 0,
+            active: None,
         }
     }
 }
@@ -123,6 +134,32 @@ impl ProtocolInput {
     pub fn with_depth(mut self, depth: u64) -> Self {
         self.depth = Some(depth);
         self
+    }
+
+    /// Restricts the run to the given active vertex set.
+    pub fn with_active(mut self, active: Vec<usize>) -> Self {
+        self.active = Some(active);
+        self
+    }
+
+    /// The active set as the `&[bool]` mask the wavefront free functions
+    /// take, over an `n`-vertex universe. `None` is the full set (the exact
+    /// historical `vec![true; n]`); indices `≥ n` are ignored, so a mask
+    /// for a smaller realized graph never panics — validating callers (the
+    /// sweep server) should range-check before building the input.
+    pub fn active_mask(&self, n: usize) -> Vec<bool> {
+        match &self.active {
+            None => vec![true; n],
+            Some(set) => {
+                let mut mask = vec![false; n];
+                for &v in set {
+                    if v < n {
+                        mask[v] = true;
+                    }
+                }
+                mask
+            }
+        }
     }
 }
 
