@@ -1,0 +1,163 @@
+//! PR-9 bench: serve-mode request latency and accept-pool scaleout.
+//!
+//! Two groups:
+//!
+//! * `server_warm` — round-trip latency of one warm request over TCP
+//!   (single scenario, then a 3-item batch), measured on a persistent
+//!   connection against a hot-set-backed store. This is the serve mode's
+//!   steady-state unit cost: one hot-set probe + one response line.
+//! * `server_scaleout` — the accept-pool acceptance number: four
+//!   concurrent clients, each issuing a warm think-time request mix over
+//!   its own connection, against `--accept-threads 1` (the PR 8
+//!   single-connection behaviour: connections are served one at a time to
+//!   completion) and `--accept-threads 4`. The `mix_accept1` /
+//!   `mix_accept4` mean ratio is the aggregate-throughput speedup
+//!   recorded in BENCH_pr9.json (`meta.server_scaleout`, acceptance
+//!   ≥ 3x). Think time dominates compute, so the ratio measures
+//!   connection-level concurrency, not CPU count.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use radio_bench::results::ResultStore;
+use radio_bench::scenarios::RunnerConfig;
+use radio_bench::server::{serve, ServeOptions, ServeSummary};
+
+const WARM_SINGLE: &str =
+    r#"{"cmd":"run","family":"path","size":48,"protocol":"trivial_bfs","seeds":[0,1,2]}"#;
+const WARM_BATCH: &str = r#"{"cmd":"run","batch":[{"family":"path","size":48,"protocol":"trivial_bfs","seeds":[0,1,2]},{"family":"grid","size":64,"protocol":"trivial_bfs","seeds":[0,1]},{"family":"cycle","size":40,"protocol":"trivial_bfs","seeds":[0]}]}"#;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("radio-server-bench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+fn start_server(
+    dir: &Path,
+    accept_threads: usize,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<ServeSummary>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let dir = dir.to_path_buf();
+    let handle = std::thread::spawn(move || {
+        let results = ResultStore::new(dir).with_hot_set(256);
+        serve(
+            listener,
+            &RunnerConfig::serial(),
+            None,
+            &results,
+            &ServeOptions { accept_threads },
+        )
+        .expect("serve")
+    });
+    (addr, handle)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        // Mirror the server's transport discipline on the client side: one
+        // write per request and TCP_NODELAY, so the bench measures the
+        // server, not client-side Nagle/delayed-ACK stalls.
+        stream.set_nodelay(true).expect("nodelay");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        let mut request = String::with_capacity(line.len() + 1);
+        request.push_str(line);
+        request.push('\n');
+        self.writer.write_all(request.as_bytes()).expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response");
+        response
+    }
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    let mut c = Client::connect(addr);
+    let _ = c.ask(r#"{"cmd":"shutdown"}"#);
+}
+
+fn bench_server_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_warm");
+    group.sample_size(30);
+    let dir = scratch("warm");
+    let (addr, server) = start_server(&dir, 2);
+    let mut client = Client::connect(addr);
+    // Warm every cell of both requests (and the hot set) before timing.
+    let _ = client.ask(WARM_SINGLE);
+    let _ = client.ask(WARM_BATCH);
+    group.bench_function("single_request", |b| {
+        b.iter(|| black_box(client.ask(WARM_SINGLE)).len())
+    });
+    group.bench_function("batched_request", |b| {
+        b.iter(|| black_box(client.ask(WARM_BATCH)).len())
+    });
+    group.finish();
+    drop(client);
+    shutdown(addr);
+    server.join().expect("server");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One client's share of the scaleout mix: REQUESTS warm asks with a
+/// think-time sleep between them, on its own connection.
+fn client_mix(addr: std::net::SocketAddr) {
+    const REQUESTS: usize = 12;
+    const THINK: Duration = Duration::from_millis(2);
+    let mut client = Client::connect(addr);
+    for i in 0..REQUESTS {
+        let request = if i % 2 == 0 { WARM_SINGLE } else { WARM_BATCH };
+        let response = client.ask(request);
+        assert!(response.starts_with(r#"{"ok":true"#), "{response}");
+        std::thread::sleep(THINK);
+    }
+}
+
+fn run_mix(addr: std::net::SocketAddr, clients: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| client_mix(addr));
+        }
+    });
+}
+
+fn bench_server_scaleout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_scaleout");
+    group.sample_size(10);
+    const CLIENTS: usize = 4;
+    for accept_threads in [1usize, 4] {
+        let dir = scratch(&format!("scaleout-{accept_threads}"));
+        let (addr, server) = start_server(&dir, accept_threads);
+        // Warm the store once so the mix is pure transport + think time.
+        let mut warmer = Client::connect(addr);
+        let _ = warmer.ask(WARM_SINGLE);
+        let _ = warmer.ask(WARM_BATCH);
+        drop(warmer);
+        group.bench_function(format!("mix_accept{accept_threads}"), |b| {
+            b.iter(|| run_mix(addr, CLIENTS))
+        });
+        shutdown(addr);
+        server.join().expect("server");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_warm, bench_server_scaleout);
+criterion_main!(benches);

@@ -44,12 +44,22 @@
 //! cargo run -p radio-bench --release --bin experiments -- serve --listen 127.0.0.1:7171
 //! ```
 //!
-//! accepts line-delimited JSON requests over TCP (`{"cmd":"run",…}`,
-//! `{"cmd":"stats"}`, `{"cmd":"shutdown"}`), validates specs through the
-//! protocol registry (unknown specs come back as structured errors
-//! mirroring this binary's exit-2 contract), shards cells across the same
-//! worker pool, and answers from the result store when warm. `--listen`
-//! defaults to `127.0.0.1:0` (an ephemeral port, printed on stderr).
+//! accepts line-delimited JSON requests over TCP (`{"cmd":"run",…}` —
+//! single scenario or `"batch":[…]` of them — `{"cmd":"stats"}`,
+//! `{"cmd":"shutdown"}`), validates specs through the protocol registry
+//! (unknown specs come back as structured errors mirroring this binary's
+//! exit-2 contract), shards cells across one persistent worker pool, and
+//! answers from the result store when warm. `--listen` defaults to
+//! `127.0.0.1:0` (an ephemeral port, printed on stderr). Serve-only
+//! knobs:
+//!
+//! * `--accept-threads N` — connection-handler threads sharing the
+//!   listener (default 4); concurrent clients are served in parallel,
+//!   all sharing the `--threads` compute pool.
+//! * `--hot-set-cap N` — bound on the in-memory hot set of decoded
+//!   records in front of the result store (default 256; `0` disables).
+//!   Warm hits at the cap answer without touching disk; responses are
+//!   byte-identical either way.
 
 use energy_bfs::baseline::trivial_bfs;
 use energy_bfs::diameter::{three_halves_approx_diameter, two_approx_diameter};
@@ -89,6 +99,8 @@ fn main() {
     let mut result_dir = String::from("target/results");
     let mut use_result_cache = true;
     let mut listen: Option<String> = None;
+    let mut accept_threads: Option<usize> = None;
+    let mut hot_set_cap: Option<usize> = None;
     let mut xl = false;
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -128,6 +140,20 @@ fn main() {
             );
         } else if let Some(v) = arg.strip_prefix("--listen=") {
             listen = Some(v.to_string());
+        } else if lower == "--accept-threads" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| die("--accept-threads needs a value"));
+            accept_threads = Some(parse_count(&v, "--accept-threads").max(1));
+        } else if let Some(v) = lower.strip_prefix("--accept-threads=") {
+            accept_threads = Some(parse_count(v, "--accept-threads").max(1));
+        } else if lower == "--hot-set-cap" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| die("--hot-set-cap needs a value"));
+            hot_set_cap = Some(parse_count(&v, "--hot-set-cap"));
+        } else if let Some(v) = lower.strip_prefix("--hot-set-cap=") {
+            hot_set_cap = Some(parse_count(v, "--hot-set-cap"));
         } else if lower == "--xl" {
             xl = true;
         } else if lower.starts_with("--") {
@@ -150,28 +176,41 @@ fn main() {
             die("serve needs the result store; drop --no-result-cache");
         }
         let cache = use_dataset_cache.then(|| radio_graph::dataset::DatasetCache::new(dataset_dir));
-        let results = radio_bench::results::ResultStore::new(&result_dir);
+        let results = radio_bench::results::ResultStore::new(&result_dir)
+            .with_hot_set(hot_set_cap.unwrap_or(256));
+        let options = radio_bench::server::ServeOptions {
+            accept_threads: accept_threads.unwrap_or(4),
+        };
         let addr = listen.as_deref().unwrap_or("127.0.0.1:0");
         let listener = std::net::TcpListener::bind(addr)
             .unwrap_or_else(|e| die(&format!("--listen {addr}: {e}")));
         let local = listener.local_addr().expect("bound socket has an address");
-        eprintln!("[serve] listening on {local} (result store {result_dir})");
-        let summary = radio_bench::server::serve(listener, &runner, cache.as_ref(), &results)
-            .unwrap_or_else(|e| die(&format!("serve: {e}")));
         eprintln!(
-            "[serve] done: requests={} served={} computed={}",
-            summary.requests, summary.served, summary.computed
+            "[serve] listening on {local} (result store {result_dir}, accept-threads {}, hot-set cap {})",
+            options.accept_threads,
+            results.hot_capacity()
+        );
+        let summary =
+            radio_bench::server::serve(listener, &runner, cache.as_ref(), &results, &options)
+                .unwrap_or_else(|e| die(&format!("serve: {e}")));
+        eprintln!(
+            "[serve] done: requests={} served={} computed={} connections={}",
+            summary.requests, summary.served, summary.computed, summary.connections
         );
         eprintln!(
-            "[results] dir={} hits={} misses={}",
+            "[results] dir={} hits={} misses={} hot_hits={}",
             results.dir().display(),
             results.hits(),
-            results.misses()
+            results.misses(),
+            results.hot_hits()
         );
         return;
     }
     if listen.is_some() {
         die("--listen only applies to serve");
+    }
+    if accept_threads.is_some() || hot_set_cap.is_some() {
+        die("--accept-threads/--hot-set-cap only apply to serve");
     }
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     let wants = |id: &str| run_all || ids.iter().any(|a| a == id);
@@ -250,7 +289,8 @@ fn main() {
 const USAGE: &str = "usage: experiments [all | e1..e14 | scenarios | serve] \
 [--threads N] [--quiet] [--protocol <spec>] [--xl] \
 [--dataset-dir <path>] [--no-dataset-cache] \
-[--result-dir <path>] [--no-result-cache] [--listen <addr>]";
+[--result-dir <path>] [--no-result-cache] \
+[--listen <addr>] [--accept-threads N] [--hot-set-cap N]";
 
 fn die(msg: &str) -> ! {
     eprintln!("experiments: {msg}");
@@ -258,9 +298,13 @@ fn die(msg: &str) -> ! {
 }
 
 fn parse_threads(v: &str) -> usize {
+    parse_count(v, "--threads").max(1)
+}
+
+fn parse_count(v: &str, flag: &str) -> usize {
     match v.parse::<usize>() {
-        Ok(n) => n.max(1),
-        Err(_) => die(&format!("--threads needs an integer, got {v:?}")),
+        Ok(n) => n,
+        Err(_) => die(&format!("{flag} needs an integer, got {v:?}")),
     }
 }
 

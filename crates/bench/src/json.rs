@@ -12,8 +12,17 @@
 //! byte-stable formatter in [`crate::scenarios::records_to_json`], and the
 //! server composes responses with the same escaping helpers. This parser
 //! is the *read* side only.
+//!
+//! Because the server parses attacker-shaped bytes, nesting depth is
+//! capped at [`MAX_DEPTH`]: a line of `[[[[…` must come back as a
+//! [`JsonError`], never recurse the accept thread's stack into an abort.
 
 use std::fmt;
+
+/// Maximum container nesting the parser accepts. The wire protocol needs
+/// depth ≤ 4 (`{"batch":[{"seeds":[…]}]}`), so 64 is generous for every
+/// legitimate request while keeping worst-case recursion small.
+pub const MAX_DEPTH: usize = 64;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -57,6 +66,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             at: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -114,6 +124,9 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    /// Current container nesting, checked against [`MAX_DEPTH`] on every
+    /// object/array descent.
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -152,10 +165,28 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => {
+                self.enter()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.enter()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -396,6 +427,27 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Well under the cap: fine.
+        let shallow = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&shallow).is_ok());
+        // One past the cap: a typed error.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&over).expect_err("must be rejected");
+        assert!(err.msg.contains("nesting"), "{err}");
+        // The attack shape: a megabyte of open brackets, unclosed. This
+        // must return quickly with an error, not recurse 10^6 frames.
+        let bomb = "[".repeat(1 << 20);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"a\":".repeat(1 << 18);
+        assert!(Json::parse(&obj_bomb).is_err());
     }
 
     #[test]

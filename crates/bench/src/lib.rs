@@ -12,11 +12,14 @@
 //! through the same path.
 //!
 //! Sweeps are *incremental*: [`results`] is a content-addressed store of
-//! per-cell [`scenarios::ScenarioRecord`] artifacts, consulted by the
-//! runner before any cell is dispatched, and [`server`] turns the whole
-//! pipeline into a long-running service (`experiments -- serve`) answering
-//! line-delimited JSON requests ([`json`] is the dependency-free parser)
-//! from the store when warm.
+//! per-cell [`scenarios::ScenarioRecord`] artifacts — fronted by a bounded
+//! in-memory hot set and indexed by a persistent append-on-write store
+//! index — consulted by the runner before any cell is dispatched, and
+//! [`server`] turns the whole pipeline into a long-running concurrent
+//! service (`experiments -- serve`): an accept pool of connection
+//! handlers over one listener, batched requests scheduled as one
+//! work-item set on a persistent [`pool::WorkPool`], answered from the
+//! store when warm ([`json`] is the dependency-free parser).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

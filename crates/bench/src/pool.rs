@@ -26,8 +26,10 @@
 //! from the caller's stack; a panicking worker propagates the panic to the
 //! caller once the scope joins.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The number of worker threads the machine offers
 /// (`std::thread::available_parallelism`), falling back to 1 when the
@@ -88,6 +90,169 @@ where
         .into_iter()
         .map(|slot| slot.expect("every index visited exactly once"))
         .collect()
+}
+
+/// A queued unit of work owned by the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between submitters and workers. The shutdown flag
+/// lives *inside* the mutex so a worker can never observe "queue empty"
+/// and then miss the shutdown notification (no lost-wakeup window).
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a job is pushed or shutdown is requested.
+    available: Condvar,
+}
+
+/// Book-keeping for one in-flight [`WorkPool::run_batch`] call: the
+/// index-addressed result slots plus a countdown the submitter sleeps on.
+struct BatchState<R> {
+    slots: Mutex<Vec<Option<R>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A persistent worker pool shared by many submitters.
+///
+/// [`run_indexed`] spins workers up and down per call, which is the right
+/// shape for a CLI sweep (one caller, one batch, scoped borrows). A server
+/// handling concurrent connections needs the opposite: **one** set of
+/// long-lived workers that every connection handler submits into, so a
+/// request's cells are scheduled as one work-item set without each
+/// connection spawning its own threads and oversubscribing the machine.
+///
+/// Contracts, mirroring [`run_indexed`]:
+///
+/// * [`run_batch`](WorkPool::run_batch) returns results **ordered by item
+///   index**, never by completion order — slot `i` only ever holds the
+///   result of item `i`, so output bytes cannot depend on scheduling;
+/// * jobs from different batches interleave freely on the same workers —
+///   fairness across concurrent submitters comes from the single FIFO
+///   queue;
+/// * a panicking job is confined to its slot (`None`) — the worker thread
+///   survives, the batch still completes, and other submitters are
+///   unaffected.
+///
+/// Jobs must be `'static`: the pool outlives any one call, so submitted
+/// closures own their data (in practice, `Arc`s over the prepared
+/// scenario state).
+pub struct WorkPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkPool {
+    /// Spawns a pool with `threads` long-lived workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = shared.queue.lock().expect("pool queue");
+                        loop {
+                            if let Some(job) = q.jobs.pop_front() {
+                                break job;
+                            }
+                            if q.shutdown {
+                                return;
+                            }
+                            q = shared.available.wait(q).expect("pool queue");
+                        }
+                    };
+                    // A panicking job must not take the worker down with it;
+                    // run_batch already wraps its closures, but belt-and-
+                    // braces here keeps raw submits from killing the pool.
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                })
+            })
+            .collect();
+        WorkPool { shared, workers }
+    }
+
+    /// The number of worker threads this pool runs.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self.shared.queue.lock().expect("pool queue");
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Runs `work(i)` for every `i in 0..len` on the pool's workers and
+    /// blocks until all items finish, returning the results **ordered by
+    /// index**. Slot `i` is `None` iff item `i` panicked; every other slot
+    /// is `Some`.
+    ///
+    /// Many threads may call `run_batch` concurrently: their items share
+    /// the FIFO queue, so no batch can starve another, and a batch's
+    /// submitter wakes exactly when its own countdown reaches zero.
+    pub fn run_batch<R, F>(&self, len: usize, work: F) -> Vec<Option<R>>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let work = Arc::new(work);
+        let batch = Arc::new(BatchState {
+            slots: Mutex::new((0..len).map(|_| None).collect()),
+            remaining: Mutex::new(len),
+            done: Condvar::new(),
+        });
+        for i in 0..len {
+            let work = Arc::clone(&work);
+            let batch = Arc::clone(&batch);
+            self.submit(Box::new(move || {
+                // catch_unwind here (not just in the worker loop) so the
+                // countdown below *always* runs — otherwise one panicking
+                // cell would leave its submitter asleep forever.
+                let result = catch_unwind(AssertUnwindSafe(|| work(i))).ok();
+                batch.slots.lock().expect("batch slots")[i] = result;
+                let mut remaining = batch.remaining.lock().expect("batch countdown");
+                *remaining -= 1;
+                if *remaining == 0 {
+                    batch.done.notify_all();
+                }
+            }));
+        }
+        let mut remaining = batch.remaining.lock().expect("batch countdown");
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).expect("batch countdown");
+        }
+        drop(remaining);
+        let mut slots = batch.slots.lock().expect("batch slots");
+        std::mem::take(&mut *slots)
+    }
+}
+
+impl Drop for WorkPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +375,68 @@ mod tests {
         assert_eq!(got, vec![0, 1, 2, 3]);
         let empty: Vec<usize> = run_indexed(0, 8, || (), |(), i| i);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn work_pool_batches_come_back_in_index_order() {
+        let pool = WorkPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        for _ in 0..3 {
+            let got = pool.run_batch(97, |i| {
+                // Skew completion order away from index order.
+                std::thread::sleep(std::time::Duration::from_micros(97 - i as u64));
+                (i as u64) * (i as u64)
+            });
+            let expected: Vec<Option<u64>> = (0..97u64).map(|i| Some(i * i)).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn work_pool_serves_concurrent_submitters_without_loss() {
+        // 6 submitters × 40 items over 3 workers: every batch must get all
+        // of its own results back, in its own index order, even though all
+        // jobs interleave on the same queue.
+        let pool = Arc::new(WorkPool::new(3));
+        let mut handles = Vec::new();
+        for tag in 0..6u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let got = pool.run_batch(40, move |i| tag * 1000 + i as u64);
+                let expected: Vec<Option<u64>> = (0..40u64).map(|i| Some(tag * 1000 + i)).collect();
+                assert_eq!(got, expected, "batch {tag}");
+            }));
+        }
+        for h in handles {
+            h.join().expect("submitter");
+        }
+    }
+
+    #[test]
+    fn work_pool_confines_a_panicking_job_to_its_slot() {
+        let pool = WorkPool::new(2);
+        let got = pool.run_batch(10, |i| {
+            assert_ne!(i, 7, "cell 7 exploded");
+            i
+        });
+        for (i, slot) in got.iter().enumerate() {
+            if i == 7 {
+                assert!(slot.is_none(), "panicked slot must be None");
+            } else {
+                assert_eq!(*slot, Some(i));
+            }
+        }
+        // The pool survives: the same workers complete a follow-up batch.
+        let next = pool.run_batch(4, |i| i * 2);
+        assert_eq!(next, vec![Some(0), Some(2), Some(4), Some(6)]);
+    }
+
+    #[test]
+    fn work_pool_empty_batch_and_drop_are_clean() {
+        let pool = WorkPool::new(0); // clamped to 1 worker
+        assert_eq!(pool.threads(), 1);
+        let empty: Vec<Option<usize>> = pool.run_batch(0, |i| i);
+        assert!(empty.is_empty());
+        drop(pool); // join must not hang
     }
 }

@@ -37,10 +37,34 @@
 //! full sweep costs one directory of small file reads instead of the whole
 //! computation — and the `serve` mode answers repeat queries without
 //! recomputing anything.
+//!
+//! Two layers sit above the artifacts for serving at scale:
+//!
+//! * an **in-memory hot set** ([`ResultStore::with_hot_set`]) — a bounded
+//!   LRU of decoded records keyed by [`ResultKey`], so the server's warm
+//!   hits skip the filesystem entirely. The hot set is a pure cache over
+//!   the decoded bytes: because a cell's record is deterministic, a hot
+//!   answer is bit-identical to a disk answer by construction, and tiny
+//!   capacities (heavy eviction) can never change a served byte — only
+//!   which tier answered.
+//! * a **persistent index file** (`index.ridx` in the store directory) —
+//!   a fingerprinted header plus one append-on-write `(key hash, bytes)`
+//!   entry per stored artifact, so `stats` and startup read one small file
+//!   instead of walking the directory. The index is advisory, never
+//!   authoritative: when it is absent, corrupt, truncated mid-entry, or
+//!   carries a stale engine fingerprint, it is rebuilt by walking the
+//!   directory and validating each artifact header — reads of record bytes
+//!   always go through the per-artifact checksums regardless. A crash
+//!   between an artifact rename and its index append can leave the index
+//!   undercounting until the next rebuild; deleting `index.ridx` forces
+//!   one.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::scenarios::ScenarioRecord;
 
@@ -60,6 +84,16 @@ pub const ENGINE_VERSION: u32 = 1;
 const MAGIC: [u8; 4] = *b"RRES";
 /// magic + format version + key hash + engine fingerprint + payload len.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Version of the on-disk index file layout.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+/// File name of the store index inside the store directory.
+pub const INDEX_FILE_NAME: &str = "index.ridx";
+const INDEX_MAGIC: [u8; 4] = *b"RIDX";
+/// magic + format version + engine fingerprint.
+const INDEX_HEADER_LEN: usize = 4 + 4 + 8;
+/// key hash + artifact byte length.
+const INDEX_ENTRY_LEN: usize = 8 + 8;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -420,6 +454,160 @@ pub struct StoreSize {
     pub bytes: u64,
 }
 
+/// A bounded LRU of decoded records. `cap == 0` disables the tier
+/// entirely (every probe falls through to disk — the PR 8 behavior).
+#[derive(Debug)]
+struct HotSet {
+    cap: usize,
+    inner: Mutex<HotInner>,
+}
+
+#[derive(Debug)]
+struct HotInner {
+    map: HashMap<ResultKey, (ScenarioRecord, u64)>,
+    /// Monotone access clock; the entry with the smallest tick is the
+    /// least recently used and the first evicted.
+    tick: u64,
+}
+
+impl HotSet {
+    fn new(cap: usize) -> Self {
+        HotSet {
+            cap,
+            inner: Mutex::new(HotInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    fn get(&self, key: &ResultKey) -> Option<ScenarioRecord> {
+        if self.cap == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("hot set");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    fn insert(&self, key: &ResultKey, record: &ScenarioRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("hot set");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key.clone(), (record.clone(), tick));
+        // Evict by minimum tick. O(len) per eviction is fine at the
+        // hundreds-of-entries capacities the server runs with.
+        while inner.map.len() > self.cap {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("hot set").map.len()
+    }
+}
+
+/// Parses the index file, or `None` when it must be rebuilt: missing,
+/// bad magic/version, stale engine fingerprint, or a body truncated
+/// mid-entry (a crashed append). Duplicate key hashes resolve last-wins,
+/// matching append-on-overwrite semantics.
+fn load_index_file(path: &Path) -> Option<HashMap<u64, u64>> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < INDEX_HEADER_LEN || bytes[..4] != INDEX_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != INDEX_FORMAT_VERSION {
+        return None;
+    }
+    if read_u64_at(&bytes, 8) != engine_fingerprint() {
+        return None;
+    }
+    let body = &bytes[INDEX_HEADER_LEN..];
+    if body.len() % INDEX_ENTRY_LEN != 0 {
+        return None;
+    }
+    let mut map = HashMap::with_capacity(body.len() / INDEX_ENTRY_LEN);
+    for chunk in body.chunks_exact(INDEX_ENTRY_LEN) {
+        map.insert(read_u64_at(chunk, 0), read_u64_at(chunk, 8));
+    }
+    Some(map)
+}
+
+/// Rebuilds the index by walking the store directory: every `.rec` file
+/// whose header carries the right magic, format version, and the current
+/// engine fingerprint contributes one entry. Corrupt and foreign-era
+/// artifacts are skipped — the index counts what this engine can serve.
+fn rebuild_index_from_walk(dir: &Path) -> HashMap<u64, u64> {
+    let mut map = HashMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return map;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rec") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let Ok(mut file) = std::fs::File::open(&path) else {
+            continue;
+        };
+        let mut header = [0u8; HEADER_LEN];
+        if file.read_exact(&mut header).is_err() || header[..4] != MAGIC {
+            continue;
+        }
+        if u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) != FORMAT_VERSION {
+            continue;
+        }
+        if read_u64_at(&header, 16) != engine_fingerprint() {
+            continue;
+        }
+        map.insert(read_u64_at(&header, 8), meta.len());
+    }
+    map
+}
+
+/// Writes a complete index file atomically (temp + rename), entries
+/// sorted by key hash so the same map always produces the same bytes.
+fn write_index_file(path: &Path, map: &HashMap<u64, u64>) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(INDEX_HEADER_LEN + map.len() * INDEX_ENTRY_LEN);
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&INDEX_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&engine_fingerprint().to_le_bytes());
+    let mut entries: Vec<(u64, u64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable();
+    for (k, v) in entries {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, &out)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 /// A content-addressed result cache over one directory of artifacts.
 ///
 /// `get` answers a probe — a valid artifact is a **hit**, anything else
@@ -427,22 +615,53 @@ pub struct StoreSize {
 /// heals by recomputing and `put`ting the fresh record back. `put` is
 /// best-effort on the sweep path: an unwritable store degrades to
 /// recomputing per process, never to an error. Counters are atomic so a
-/// multi-threaded sweep can report `[results] hits=… misses=…` afterwards.
+/// multi-threaded sweep — or the server's accept pool — can report
+/// `[results] hits=… misses=…` afterwards, and the whole store is `Sync`:
+/// one instance is shared by every connection handler.
+///
+/// Above the artifacts sit two serving tiers:
+///
+/// * the **hot set** (opt-in via [`ResultStore::with_hot_set`]): a bounded
+///   LRU of decoded records, probed before disk. Hot answers count as hits
+///   *and* as [`ResultStore::hot_hits`], so `hits == hot_hits + disk hits`
+///   always holds.
+/// * the **index** (`index.ridx`): loaded lazily on the first
+///   [`ResultStore::size`]/`put`, rebuilt from a directory walk when
+///   absent, corrupt, or stale-fingerprinted, appended on every `put`.
+///   `size()` answers from it in O(1).
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    hot_hits: AtomicU64,
+    hot: HotSet,
+    /// Lazily-loaded index: `None` until first use, then the in-memory
+    /// mirror of `index.ridx` (key hash → artifact bytes).
+    index: Mutex<Option<HashMap<u64, u64>>>,
 }
 
 impl ResultStore {
-    /// A store over `dir` (created lazily on the first `put`).
+    /// A store over `dir` (created lazily on the first `put`), with the
+    /// hot set disabled — the sweep path's configuration, where every
+    /// cell is probed at most once per run anyway.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         ResultStore {
             dir: dir.into(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hot_hits: AtomicU64::new(0),
+            hot: HotSet::new(0),
+            index: Mutex::new(None),
         }
+    }
+
+    /// Enables an in-memory hot set holding up to `cap` decoded records
+    /// (`0` disables it). The server turns this on so repeat queries skip
+    /// disk entirely.
+    pub fn with_hot_set(mut self, cap: usize) -> Self {
+        self.hot = HotSet::new(cap);
+        self
     }
 
     /// The store directory.
@@ -455,19 +674,33 @@ impl ResultStore {
         self.dir.join(key.file_name())
     }
 
-    /// Reads `key`'s artifact, if present and valid — no counter movement;
-    /// the counting entry point is [`ResultStore::get`].
+    /// Where the store's index file lives.
+    pub fn index_path(&self) -> PathBuf {
+        self.dir.join(INDEX_FILE_NAME)
+    }
+
+    /// Reads `key`'s artifact, if present and valid — no counter movement
+    /// and no hot-set involvement; the counting entry point is
+    /// [`ResultStore::get`].
     pub fn load(&self, key: &ResultKey) -> Result<ScenarioRecord, ResultError> {
         read_artifact(&self.path_for(key), key)
     }
 
-    /// Probes the store: a valid artifact is a hit, anything else — missing
-    /// file, corrupt bytes, foreign engine fingerprint — is a miss healed
-    /// by the caller recomputing and [`ResultStore::put`]ting the record.
+    /// Probes the store: hot set first, then disk. A valid answer from
+    /// either tier is a hit; anything else — missing file, corrupt bytes,
+    /// foreign engine fingerprint — is a miss healed by the caller
+    /// recomputing and [`ResultStore::put`]ting the record. Disk hits are
+    /// promoted into the hot set.
     pub fn get(&self, key: &ResultKey) -> Option<ScenarioRecord> {
+        if let Some(record) = self.hot.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hot_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(record);
+        }
         match self.load(key) {
             Ok(record) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hot.insert(key, &record);
                 Some(record)
             }
             Err(_) => {
@@ -477,15 +710,21 @@ impl ResultStore {
         }
     }
 
-    /// Stores `record` as `key`'s artifact, returning its path.
+    /// Stores `record` as `key`'s artifact, returning its path. The hot
+    /// set and the index are updated in the same call; index persistence
+    /// is best-effort (an unwritable index degrades `stats`, never
+    /// correctness — record reads still validate per-artifact checksums).
     pub fn put(&self, key: &ResultKey, record: &ScenarioRecord) -> Result<PathBuf, ResultError> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path_for(key);
         write_artifact(&path, key, record)?;
+        self.hot.insert(key, record);
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        self.index_record(key.content_hash(), bytes);
         Ok(path)
     }
 
-    /// Cells served from disk so far.
+    /// Cells served from cache (hot set or disk) so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -495,24 +734,72 @@ impl ResultStore {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Counts the `.rec` artifacts under the store directory and their
-    /// total bytes — the cache-size half of the server's `stats` answer.
-    /// A store whose directory does not exist yet is simply empty.
+    /// The subset of [`ResultStore::hits`] answered by the in-memory hot
+    /// set without touching disk.
+    pub fn hot_hits(&self) -> u64 {
+        self.hot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Decoded records currently resident in the hot set.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// The hot set's capacity (0 = disabled).
+    pub fn hot_capacity(&self) -> usize {
+        self.hot.cap
+    }
+
+    /// Artifact count and total bytes, answered from the store index in
+    /// O(1) — no directory walk. The first call loads `index.ridx`,
+    /// rebuilding it from a directory walk if it is absent, corrupt,
+    /// truncated, or stale-fingerprinted; every `put` keeps it current.
     pub fn size(&self) -> StoreSize {
-        let mut size = StoreSize::default();
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
-            return size;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("rec") {
-                if let Ok(meta) = entry.metadata() {
-                    size.entries += 1;
-                    size.bytes += meta.len();
+        self.with_index(|map| StoreSize {
+            entries: map.len() as u64,
+            bytes: map.values().sum(),
+        })
+    }
+
+    /// Runs `f` over the in-memory index map, loading or rebuilding it
+    /// first if this is the store's first index touch.
+    fn with_index<R>(&self, f: impl FnOnce(&mut HashMap<u64, u64>) -> R) -> R {
+        let mut guard = self.index.lock().expect("store index");
+        if guard.is_none() {
+            let map = load_index_file(&self.index_path()).unwrap_or_else(|| {
+                let map = rebuild_index_from_walk(&self.dir);
+                // Persist best-effort; a read-only store still gets
+                // correct in-memory answers.
+                let _ = write_index_file(&self.index_path(), &map);
+                map
+            });
+            *guard = Some(map);
+        }
+        f(guard.as_mut().expect("index just loaded"))
+    }
+
+    /// Records one stored artifact in the index: updates the in-memory
+    /// map and appends the entry to `index.ridx` under the same lock, so
+    /// concurrent `put`s serialize their appends. Last write wins on
+    /// duplicate key hashes, both in memory and on reload.
+    fn index_record(&self, key_hash: u64, bytes: u64) {
+        let path = self.index_path();
+        self.with_index(|map| {
+            map.insert(key_hash, bytes);
+            let mut entry = [0u8; INDEX_ENTRY_LEN];
+            entry[..8].copy_from_slice(&key_hash.to_le_bytes());
+            entry[8..].copy_from_slice(&bytes.to_le_bytes());
+            match std::fs::OpenOptions::new().append(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = file.write_all(&entry);
+                }
+                // The file vanished since load (or was never writable):
+                // rewrite it whole from the map, best-effort.
+                Err(_) => {
+                    let _ = write_index_file(&path, map);
                 }
             }
-        }
-        size
+        });
     }
 }
 
@@ -705,5 +992,159 @@ mod tests {
         let scratch = ScratchDir::new("size");
         let store = ResultStore::new(scratch.0.join("never-created"));
         assert_eq!(store.size(), StoreSize::default());
+    }
+
+    /// `count` distinct keys/records derived from the sample pair.
+    fn keyed_records(count: u64) -> Vec<(ResultKey, ScenarioRecord)> {
+        (0..count)
+            .map(|seed| {
+                let mut key = sample_key();
+                key.seed = seed;
+                let mut record = sample_record();
+                record.seed = seed;
+                record.lb_calls = 100 + seed;
+                (key, record)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hot_set_serves_warm_probes_without_disk_and_evicts_lru() {
+        let scratch = ScratchDir::new("hot");
+        let store = ResultStore::new(scratch.0.clone()).with_hot_set(2);
+        assert_eq!(store.hot_capacity(), 2);
+        let cells = keyed_records(3);
+        for (key, record) in &cells {
+            store.put(key, record).expect("put");
+        }
+        // Capacity 2 with 3 inserts: the oldest (seed 0) was evicted.
+        assert_eq!(store.hot_len(), 2);
+        // Warm probe of a resident key answers from memory even after the
+        // artifact is destroyed — the proof it never touched disk.
+        std::fs::remove_file(store.path_for(&cells[2].0)).expect("remove artifact");
+        assert_eq!(store.get(&cells[2].0).as_ref(), Some(&cells[2].1));
+        assert_eq!(store.hot_hits(), 1);
+        assert_eq!(store.hits(), 1);
+        // The evicted key falls through to disk, is served, and is
+        // promoted back into the hot set (evicting the LRU resident).
+        assert_eq!(store.get(&cells[0].0).as_ref(), Some(&cells[0].1));
+        assert_eq!((store.hits(), store.hot_hits()), (2, 1));
+        assert_eq!(store.get(&cells[0].0).as_ref(), Some(&cells[0].1));
+        assert_eq!((store.hits(), store.hot_hits()), (3, 2));
+    }
+
+    #[test]
+    fn hot_set_answers_are_byte_identical_to_disk_answers() {
+        let scratch = ScratchDir::new("hot-bytes");
+        let cold = ResultStore::new(scratch.0.clone());
+        let warm = ResultStore::new(scratch.0.clone()).with_hot_set(1);
+        let cells = keyed_records(4);
+        for (key, record) in &cells {
+            cold.put(key, record).expect("put");
+        }
+        // Tiny capacity forces eviction churn on every probe; the records
+        // must still match the hot-set-off store bit-for-bit.
+        for _ in 0..3 {
+            for (key, _) in &cells {
+                let a = cold.get(key).expect("cold");
+                let b = warm.get(key).expect("warm");
+                assert_eq!(a, b);
+                assert_eq!(a.mean_lb_energy.to_bits(), b.mean_lb_energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_written_on_put_and_loaded_without_a_walk() {
+        let scratch = ScratchDir::new("index");
+        let store = ResultStore::new(scratch.0.clone());
+        let cells = keyed_records(3);
+        for (key, record) in &cells {
+            store.put(key, record).expect("put");
+        }
+        let size = store.size();
+        assert_eq!(size.entries, 3);
+        assert!(size.bytes > 0);
+        assert!(store.index_path().exists());
+        // A fresh store over the same directory answers from the index
+        // file. Remove every artifact first: a walk would now say 0, so
+        // agreeing with the old total proves the index answered.
+        let walked = rebuild_index_from_walk(&scratch.0);
+        assert_eq!(walked.len(), 3);
+        for (key, _) in &cells {
+            std::fs::remove_file(store.path_for(key)).expect("remove");
+        }
+        let reopened = ResultStore::new(scratch.0.clone());
+        assert_eq!(reopened.size(), size);
+    }
+
+    #[test]
+    fn missing_corrupt_truncated_or_stale_index_rebuilds_from_walk() {
+        let scratch = ScratchDir::new("index-heal");
+        let store = ResultStore::new(scratch.0.clone());
+        let cells = keyed_records(4);
+        for (key, record) in &cells {
+            store.put(key, record).expect("put");
+        }
+        let truth = store.size();
+        assert_eq!(truth.entries, 4);
+        let index_path = store.index_path();
+
+        // Deleted index: rebuilt from the walk.
+        std::fs::remove_file(&index_path).expect("delete index");
+        assert_eq!(ResultStore::new(scratch.0.clone()).size(), truth);
+        assert!(index_path.exists(), "rebuild must persist the index");
+
+        // Binary garbage: rejected, rebuilt.
+        std::fs::write(&index_path, b"\xde\xad\xbe\xef not an index").expect("garbage");
+        assert_eq!(ResultStore::new(scratch.0.clone()).size(), truth);
+
+        // Truncated mid-entry (a crashed append): rejected, rebuilt.
+        let full = std::fs::read(&index_path).expect("read index");
+        std::fs::write(&index_path, &full[..full.len() - 7]).expect("truncate");
+        assert_eq!(ResultStore::new(scratch.0.clone()).size(), truth);
+
+        // Stale engine fingerprint: rejected, rebuilt.
+        let mut stale = std::fs::read(&index_path).expect("read index");
+        for b in &mut stale[8..16] {
+            *b ^= 0xff;
+        }
+        std::fs::write(&index_path, &stale).expect("forge fingerprint");
+        assert_eq!(ResultStore::new(scratch.0.clone()).size(), truth);
+        assert_eq!(
+            std::fs::read(&index_path).expect("healed index"),
+            full,
+            "a rebuild from the same artifacts must reproduce the same index bytes"
+        );
+    }
+
+    #[test]
+    fn index_rebuild_skips_foreign_and_corrupt_artifacts() {
+        let scratch = ScratchDir::new("index-skip");
+        let store = ResultStore::new(scratch.0.clone());
+        let cells = keyed_records(2);
+        for (key, record) in &cells {
+            store.put(key, record).expect("put");
+        }
+        // Plant a garbage .rec and a stale-fingerprint .rec next to the
+        // real ones; the rebuild must not count either.
+        std::fs::write(
+            scratch.0.join("zz-garbage-s0-0000000000000000.rec"),
+            b"junk",
+        )
+        .expect("garbage rec");
+        let real = std::fs::read(store.path_for(&cells[0].0)).expect("read real");
+        let mut foreign = real.clone();
+        for b in &mut foreign[16..24] {
+            *b ^= 0xff;
+        }
+        std::fs::write(
+            scratch.0.join("zz-foreign-s0-ffffffffffffffff.rec"),
+            &foreign,
+        )
+        .expect("foreign rec");
+        std::fs::remove_file(store.index_path()).expect("force rebuild");
+        let size = ResultStore::new(scratch.0.clone()).size();
+        assert_eq!(size.entries, 2, "only servable artifacts count");
     }
 }

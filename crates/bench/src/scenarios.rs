@@ -659,57 +659,151 @@ pub fn run_scenario_with_cache(
     run_scenario_with_stores(scenario, config, cache, None, None)
 }
 
-/// The full-substrate entry point: [`run_scenario_with_cache`] plus an
-/// optional [`ResultStore`] consulted *before* any cell is dispatched, and
-/// an optional restricted active set threaded into every cell's
-/// [`ProtocolInput`].
+/// One work item of a batched run: a scenario plus an optional restricted
+/// active set. A server `run` request decodes to a list of these; the CLI
+/// path wraps a single one.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The sweep to run (or answer from the store).
+    pub scenario: Scenario,
+    /// Optional restricted active set threaded into every cell's
+    /// [`ProtocolInput`].
+    pub active: Option<Vec<usize>>,
+}
+
+/// What one [`BatchItem`] produced: its records in cell order plus exact
+/// per-item accounting. `hits` counts cells answered by the store probe,
+/// `computed` counts cells dispatched to workers — `hits + computed`
+/// always equals `records.len()`, and summing these per-response fields
+/// over all requests reconciles exactly with the store's global counters
+/// (the counters are *moved* here by the probe itself, not re-derived
+/// from racy global deltas).
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Records of every (size, seed) cell, size-major seed-minor.
+    pub records: Vec<ScenarioRecord>,
+    /// Cells answered by the result store.
+    pub hits: u64,
+    /// Cells computed fresh (and written back when a store is present).
+    pub computed: u64,
+}
+
+/// One dispatched cell, with everything a worker needs *owned* (`Arc`s
+/// over the shared pieces). The same description serves both execution
+/// paths: scoped workers borrow it, and the server's persistent
+/// [`WorkPool`](crate::pool::WorkPool) moves an `Arc` of the whole job
+/// list into its `'static` closures.
+struct CellJob {
+    /// Index of the originating batch item.
+    item: usize,
+    /// Cell index within that item (size-major, seed-minor).
+    cell: usize,
+    scenario: Arc<Scenario>,
+    protocol: Arc<dyn ProtocolImpl>,
+    graph: (Arc<Graph>, usize, usize),
+    seed: u64,
+    active: Option<Arc<[usize]>>,
+}
+
+thread_local! {
+    /// Per-thread scratch for persistent-pool workers: the pool outlives
+    /// any one batch, so its workers keep their reusable frame across
+    /// batches here (scoped workers get theirs from `run_indexed`'s
+    /// `make_state` instead).
+    static POOL_SCRATCH: std::cell::RefCell<WorkerScratch> =
+        std::cell::RefCell::new(WorkerScratch::new());
+}
+
+/// Renders a caught panic payload the way `panic!` produced it.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "cell panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs a whole batch of items as **one work-item set**: every missing
+/// cell of every item is flattened into a single job list and dispatched
+/// together, so a server request carrying many scenarios saturates the
+/// pool instead of draining items one at a time.
 ///
-/// The incremental discipline: every (size, seed) cell's [`ResultKey`] is
-/// probed first — keys are over the *target* size, so a fully warm scenario
-/// never materializes a graph at all — and only the missing cells go to the
-/// worker pool (graphs are built lazily, only for sizes that still have at
-/// least one miss). Freshly computed records are written back on the
-/// caller's thread. Because artifacts round-trip records bit-exactly
-/// (`mean_lb_energy` is stored as raw f64 bits, not its printed form), a
-/// warm run's record vector — and hence its JSON — is byte-identical to a
-/// cold or uncached run at every thread count.
-pub fn run_scenario_with_stores(
-    scenario: &Scenario,
+/// The incremental discipline per item is unchanged from the single-
+/// scenario path: every (size, seed) cell's [`ResultKey`] is probed first
+/// — keys are over the *target* size, so a fully warm item never
+/// materializes a graph at all — and only the missing cells become jobs
+/// (graphs are built lazily, only for sizes that still have at least one
+/// miss). Freshly computed records are written back on the caller's
+/// thread. Because artifacts round-trip records bit-exactly, a warm run's
+/// record vector — and hence its JSON — is byte-identical to a cold or
+/// uncached run at every thread count, on either execution path.
+///
+/// `pool` selects the execution path: `None` runs the jobs on scoped
+/// workers spun up for this call (`config.threads`, the CLI sweep shape);
+/// `Some` submits them to a shared persistent [`WorkPool`] — the server's
+/// shape, where concurrent requests interleave their jobs on one FIFO
+/// queue and `config.threads` was fixed at pool construction. A cell that
+/// panics (e.g. a capability mismatch raised mid-run) re-panics on the
+/// caller's thread with the original message on both paths.
+///
+/// [`WorkPool`]: crate::pool::WorkPool
+pub fn run_batch_with_stores(
+    items: &[BatchItem],
     config: &RunnerConfig,
     datasets: Option<&DatasetCache>,
     results: Option<&ResultStore>,
-    active: Option<&[usize]>,
-) -> Vec<ScenarioRecord> {
-    let seeds = &scenario.seeds;
-    if seeds.is_empty() || scenario.sizes.is_empty() {
-        return Vec::new();
-    }
-    let cells = scenario.sizes.len() * seeds.len();
-    // Probe the store for every cell up front (cell order: size-major,
-    // seed-minor — the serial order the record vector keeps).
-    let mut slots: Vec<Option<ScenarioRecord>> = vec![None; cells];
+    pool: Option<&crate::pool::WorkPool>,
+) -> Vec<BatchOutcome> {
+    // Probe phase: per item, cell order size-major seed-minor — the
+    // serial order each item's record vector keeps.
+    let mut slots: Vec<Vec<Option<ScenarioRecord>>> = items
+        .iter()
+        .map(|it| vec![None; it.scenario.sizes.len() * it.scenario.seeds.len()])
+        .collect();
+    let mut hits = vec![0u64; items.len()];
     if let Some(store) = results {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let target_n = scenario.sizes[i / seeds.len()];
-            let seed = seeds[i % seeds.len()];
-            *slot = store.get(&scenario.result_key(target_n, seed, active));
+        for (k, item) in items.iter().enumerate() {
+            let seeds = &item.scenario.seeds;
+            if seeds.is_empty() {
+                continue;
+            }
+            for (i, slot) in slots[k].iter_mut().enumerate() {
+                let target_n = item.scenario.sizes[i / seeds.len()];
+                let seed = seeds[i % seeds.len()];
+                *slot = store.get(&item.scenario.result_key(
+                    target_n,
+                    seed,
+                    item.active.as_deref(),
+                ));
+                if slot.is_some() {
+                    hits[k] += 1;
+                }
+            }
         }
     }
-    let missing: Vec<usize> = slots
-        .iter()
-        .enumerate()
-        .filter_map(|(i, s)| s.is_none().then_some(i))
-        .collect();
-    if !missing.is_empty() {
-        // Resolve the protocol once per scenario; the boxed protocol is
-        // stateless (`Send + Sync`), so all workers share it by reference.
-        let protocol = energy_bfs::protocol::registry()
-            .get(&scenario.protocol.spec())
-            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", scenario.name));
-        // Graph construction is deterministic, so sizes are materialized up
-        // front on the caller's thread and shared immutably with the
-        // workers: (shared graph, realized n, target n) per size — but only
-        // for sizes that still have at least one missing cell.
+    // Job phase: flatten the missing cells of every item into one list.
+    // Protocols resolve once per item; graphs materialize once per
+    // (item, size) with at least one miss, on the caller's thread.
+    let mut jobs: Vec<CellJob> = Vec::new();
+    for (k, item) in items.iter().enumerate() {
+        let seeds = &item.scenario.seeds;
+        let missing: Vec<usize> = slots[k]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let protocol: Arc<dyn ProtocolImpl> = Arc::from(
+            energy_bfs::protocol::registry()
+                .get(&item.scenario.protocol.spec())
+                .unwrap_or_else(|e| panic!("scenario {:?}: {e}", item.scenario.name)),
+        );
+        let scenario = Arc::new(item.scenario.clone());
+        let active: Option<Arc<[usize]>> = item.active.as_deref().map(Arc::from);
         let graphs: Vec<Option<(Arc<Graph>, usize, usize)>> = scenario
             .sizes
             .iter()
@@ -728,46 +822,127 @@ pub fn run_scenario_with_stores(
                 Some((g, n, size))
             })
             .collect();
-        // The pool runs over the *missing* indices only; collect-by-index
-        // keeps the computed records in cell order regardless of thread
-        // count, exactly as in a full dispatch.
-        let computed = crate::pool::run_indexed(
-            missing.len(),
-            config.threads,
-            WorkerScratch::new,
-            |scratch, j| {
-                let i = missing[j];
-                let graph = graphs[i / seeds.len()]
-                    .as_ref()
-                    .expect("graph materialized for every size with a miss");
-                let seed = seeds[i % seeds.len()];
-                run_cell(
-                    scenario,
-                    &*protocol,
-                    graph,
-                    seed,
-                    active,
-                    scratch.frame_for(graph.1),
-                )
-            },
-        );
-        for (j, record) in computed.into_iter().enumerate() {
-            let i = missing[j];
-            if let Some(store) = results {
-                let target_n = scenario.sizes[i / seeds.len()];
-                store
-                    .put(&scenario.result_key(target_n, record.seed, active), &record)
-                    .unwrap_or_else(|e| {
-                        panic!("scenario {:?}: writing result artifact: {e}", scenario.name)
-                    });
+        for &i in &missing {
+            let graph = graphs[i / seeds.len()]
+                .as_ref()
+                .expect("graph materialized for every size with a miss")
+                .clone();
+            jobs.push(CellJob {
+                item: k,
+                cell: i,
+                scenario: Arc::clone(&scenario),
+                protocol: Arc::clone(&protocol),
+                graph,
+                seed: seeds[i % seeds.len()],
+                active: active.clone(),
+            });
+        }
+    }
+    let mut computed = vec![0u64; items.len()];
+    if !jobs.is_empty() {
+        let jobs: Arc<Vec<CellJob>> = Arc::new(jobs);
+        // Collect-by-index on both paths keeps computed records in job
+        // order regardless of scheduling, exactly as in a full dispatch.
+        let records: Vec<ScenarioRecord> = match pool {
+            Some(pool) => {
+                let pool_jobs = Arc::clone(&jobs);
+                let raw = pool.run_batch(jobs.len(), move |j| {
+                    let job = &pool_jobs[j];
+                    // Catch here (not only in the pool) so the panic
+                    // *message* survives the hop between threads.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        POOL_SCRATCH.with(|scratch| {
+                            let mut scratch = scratch.borrow_mut();
+                            run_cell(
+                                &job.scenario,
+                                &*job.protocol,
+                                &job.graph,
+                                job.seed,
+                                job.active.as_deref(),
+                                scratch.frame_for(job.graph.1),
+                            )
+                        })
+                    }))
+                    .map_err(panic_message)
+                });
+                raw.into_iter()
+                    .map(|slot| match slot {
+                        Some(Ok(record)) => record,
+                        Some(Err(msg)) => panic!("{msg}"),
+                        None => panic!("batch cell panicked in the worker pool"),
+                    })
+                    .collect()
             }
-            slots[i] = Some(record);
+            None => crate::pool::run_indexed(
+                jobs.len(),
+                config.threads,
+                WorkerScratch::new,
+                |scratch, j| {
+                    let job = &jobs[j];
+                    run_cell(
+                        &job.scenario,
+                        &*job.protocol,
+                        &job.graph,
+                        job.seed,
+                        job.active.as_deref(),
+                        scratch.frame_for(job.graph.1),
+                    )
+                },
+            ),
+        };
+        // Write-back on the caller's thread, in job order.
+        for (j, record) in records.into_iter().enumerate() {
+            let job = &jobs[j];
+            if let Some(store) = results {
+                let key = job
+                    .scenario
+                    .result_key(job.graph.2, record.seed, job.active.as_deref());
+                store.put(&key, &record).unwrap_or_else(|e| {
+                    panic!(
+                        "scenario {:?}: writing result artifact: {e}",
+                        job.scenario.name
+                    )
+                });
+            }
+            computed[job.item] += 1;
+            slots[job.item][job.cell] = Some(record);
         }
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every cell probed or computed"))
+        .zip(hits)
+        .zip(computed)
+        .map(|((item_slots, hits), computed)| BatchOutcome {
+            records: item_slots
+                .into_iter()
+                .map(|s| s.expect("every cell probed or computed"))
+                .collect(),
+            hits,
+            computed,
+        })
         .collect()
+}
+
+/// The single-scenario entry point: [`run_scenario_with_cache`] plus an
+/// optional [`ResultStore`] consulted *before* any cell is dispatched, and
+/// an optional restricted active set threaded into every cell's
+/// [`ProtocolInput`]. A thin wrapper over [`run_batch_with_stores`] with a
+/// one-item batch on the scoped-worker path — the CLI sweep shape.
+pub fn run_scenario_with_stores(
+    scenario: &Scenario,
+    config: &RunnerConfig,
+    datasets: Option<&DatasetCache>,
+    results: Option<&ResultStore>,
+    active: Option<&[usize]>,
+) -> Vec<ScenarioRecord> {
+    let item = BatchItem {
+        scenario: scenario.clone(),
+        active: active.map(<[usize]>::to_vec),
+    };
+    run_batch_with_stores(std::slice::from_ref(&item), config, datasets, results, None)
+        .pop()
+        .expect("one item in, one outcome out")
+        .records
 }
 
 /// [`run_scenario_with_cache`] without a dataset cache: graphs come
