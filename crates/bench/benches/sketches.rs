@@ -1,0 +1,102 @@
+//! Sketch-subsystem bench: word-parallel HLL kernels in isolation, and
+//! the full HyperBall protocol end to end.
+//!
+//! Two groups:
+//!
+//! * `sketch_kernels` — `merge_words` / `covers_words` / `estimate_words`
+//!   on realistic register arrays across precisions, with a per-byte
+//!   scalar merge as the reference the SWAR kernel is measured against.
+//!   Merge-as-receive makes this kernel the per-delivery cost of every
+//!   HyperBall round, so its throughput bounds the protocol's constant.
+//! * `hyperball` — full `hyperball:p=6` runs to convergence on grids of
+//!   n ∈ {1024, 4096}, through the same `Protocol::run` path the sweep
+//!   uses; the number every sketch-vs-exact energy comparison rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio_graph::generators;
+use radio_protocols::protocol::{Protocol, ProtocolInput};
+use radio_protocols::sketch::{covers_words, estimate_words, merge_words, node_hash};
+use radio_protocols::{HllSketch, HyperballProtocol, StackBuilder};
+
+/// A realistic register array: the sketch of `count` hashed items.
+fn loaded_sketch(p: u32, seed: u64, count: usize) -> HllSketch {
+    let mut s = HllSketch::new(p);
+    for v in 0..count {
+        s.insert_hash(node_hash(seed, v));
+    }
+    s
+}
+
+/// Per-byte scalar merge — the reference implementation the word-parallel
+/// kernel replaces.
+fn merge_scalar_ref(dst: &mut [u64], src: &[u64]) -> bool {
+    let mut grew = false;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        for lane in 0..8 {
+            let shift = 8 * lane;
+            let a = (*d >> shift) & 0xFF;
+            let b = (s >> shift) & 0xFF;
+            if b > a {
+                *d = (*d & !(0xFFu64 << shift)) | (b << shift);
+                grew = true;
+            }
+        }
+    }
+    grew
+}
+
+fn bench_sketch_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_kernels");
+    group.sample_size(200);
+    for &p in &[8u32, 10, 12] {
+        let a = loaded_sketch(p, 7, 4096);
+        let b_sk = loaded_sketch(p, 11, 4096);
+        let words = a.words().len();
+        let id = format!("p{p}/{words}w");
+
+        group.bench_with_input(BenchmarkId::new("merge_words", &id), &p, |b, _| {
+            let mut dst = a.words().to_vec();
+            b.iter(|| {
+                dst.copy_from_slice(a.words());
+                black_box(merge_words(&mut dst, b_sk.words()))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("merge_scalar_ref", &id), &p, |b, _| {
+            let mut dst = a.words().to_vec();
+            b.iter(|| {
+                dst.copy_from_slice(a.words());
+                black_box(merge_scalar_ref(&mut dst, b_sk.words()))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("covers_words", &id), &p, |b, _| {
+            b.iter(|| black_box(covers_words(a.words(), b_sk.words())))
+        });
+        group.bench_with_input(BenchmarkId::new("estimate_words", &id), &p, |b, _| {
+            b.iter(|| black_box(estimate_words(a.words(), p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hyperball(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperball");
+    group.sample_size(10);
+    for &side in &[32usize, 64] {
+        let n = side * side;
+        let g = generators::grid(side, side);
+        group.bench_with_input(BenchmarkId::new("grid_p6", n), &n, |b, _| {
+            let proto = HyperballProtocol { p: 6, rounds: None };
+            b.iter(|| {
+                let mut net = StackBuilder::new(g.clone()).build();
+                let report = proto
+                    .run(&mut net, &ProtocolInput::from_seed(0))
+                    .expect("hyperball runs on the abstract stack");
+                black_box(report.outcome())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_kernels, bench_hyperball);
+criterion_main!(benches);

@@ -12,11 +12,15 @@
 //! `scenarios` accepts `--threads N` (worker threads for the scenario
 //! runner; default = available parallelism, `1` = the exact serial path),
 //! `--quiet` (suppress per-scenario progress lines on stderr), and
-//! `--protocol <spec>` (run only the sweep scenarios whose protocol
-//! resolves to the given registry spec, e.g. `trivial_bfs_cd`,
-//! `decay_bfs`, or `clustering:b=4`; an unknown spec exits non-zero with
-//! the registry's known-protocol list). The emitted records and JSON are
-//! byte-identical for every thread count.
+//! `--protocol <spec[,spec…]>` (run only the sweep scenarios whose
+//! protocol resolves to one of the given registry specs, e.g.
+//! `trivial_bfs_cd`, `clustering:b=4`, or the pair
+//! `diameter:hyperball:p=6,diameter:two_approx`; an unknown spec exits
+//! non-zero with the registry's known-protocol list). Specs themselves may
+//! contain commas between parameters — a comma starts a new spec only when
+//! what follows it is a registered protocol name, so
+//! `diameter:hyperball:p=6,rounds=12` stays one spec. The emitted records
+//! and JSON are byte-identical for every thread count.
 //!
 //! Dataset substrate knobs (scenarios only):
 //!
@@ -219,12 +223,15 @@ fn main() {
     // explicitly requested scenarios run (run_all would otherwise grind
     // through E1–E14 first), and an unresolvable spec must exit before any
     // experiment burns compute.
-    if let Some(spec) = &protocol_filter {
+    if let Some(list) = &protocol_filter {
         if !ids.iter().any(|a| a == "scenarios") {
             die("--protocol requires the scenarios experiment (e.g. `-- scenarios --protocol trivial_bfs_cd`)");
         }
-        if let Err(e) = energy_bfs::protocol::registry().get(spec) {
-            die(&e.to_string());
+        let registry = energy_bfs::protocol::registry();
+        for spec in split_protocol_specs(list, &registry) {
+            if let Err(e) = registry.get(&spec) {
+                die(&e.to_string());
+            }
         }
     }
     if xl && !(run_all || ids.iter().any(|a| a == "scenarios")) {
@@ -287,7 +294,7 @@ fn main() {
 }
 
 const USAGE: &str = "usage: experiments [all | e1..e14 | scenarios | serve] \
-[--threads N] [--quiet] [--protocol <spec>] [--xl] \
+[--threads N] [--quiet] [--protocol <spec[,spec...]>] [--xl] \
 [--dataset-dir <path>] [--no-dataset-cache] \
 [--result-dir <path>] [--no-result-cache] \
 [--listen <addr>] [--accept-threads N] [--hot-set-cap N]";
@@ -308,6 +315,32 @@ fn parse_count(v: &str, flag: &str) -> usize {
     }
 }
 
+/// Splits a comma-separated `--protocol` value into individual registry
+/// specs. Specs themselves may use commas between *parameters*
+/// (`diameter:hyperball:p=6,rounds=12`), so a comma starts a new spec only
+/// when the segment's head — the text before its first `:` or `=` — is a
+/// registered protocol name; any other segment is a parameter continuation
+/// of the spec before it. A head that is neither ends up in front of the
+/// registry anyway, which rejects it with the known-protocol list.
+fn split_protocol_specs(
+    list: &str,
+    registry: &radio_protocols::protocol::ProtocolRegistry,
+) -> Vec<String> {
+    let mut specs: Vec<String> = Vec::new();
+    for segment in list.split(',') {
+        let head = segment.split([':', '=']).next().unwrap_or("").trim();
+        let starts_new = registry.known().contains(&head);
+        match specs.last_mut() {
+            Some(last) if !starts_new => {
+                last.push(',');
+                last.push_str(segment);
+            }
+            _ => specs.push(segment.trim().to_string()),
+        }
+    }
+    specs
+}
+
 /// The distinct protocol *specs* of a sweep, for `--protocol` diagnostics
 /// — specs, not labels, so the suggestions can be fed straight back to
 /// `--protocol`.
@@ -324,9 +357,10 @@ fn sweep_protocol_specs(scenarios: &[radio_bench::scenarios::Scenario]) -> Vec<S
 /// records as JSON — byte-identical for every `--threads` value.
 ///
 /// With a `--protocol` filter, only the sweep scenarios whose protocol
-/// resolves to the given registry spec run; the spec is validated through
-/// `energy_bfs::protocol::registry()` first, so a typo exits non-zero with
-/// the known-protocol list instead of silently matching nothing.
+/// resolves to one of the given (comma-separated) registry specs run; each
+/// spec is validated through `energy_bfs::protocol::registry()` first, so
+/// a typo exits non-zero with the known-protocol list instead of silently
+/// matching nothing.
 ///
 /// With a dataset `cache`, graphs come from compiled CSR artifacts under
 /// the cache directory (generator output on first use, bulk read after);
@@ -350,16 +384,21 @@ fn scenario_sweeps(
     if xl {
         scenarios.extend(xl_scenarios());
     }
-    if let Some(spec) = protocol_filter {
-        let label = match energy_bfs::protocol::registry().get(spec) {
-            Ok(p) => p.name(),
-            Err(e) => die(&e.to_string()),
-        };
+    if let Some(list) = protocol_filter {
+        let registry = energy_bfs::protocol::registry();
+        let mut labels: Vec<String> = Vec::new();
+        for spec in split_protocol_specs(list, &registry) {
+            match registry.get(&spec) {
+                Ok(p) => labels.push(p.name().as_str().to_string()),
+                Err(e) => die(&e.to_string()),
+            }
+        }
         let all_specs = sweep_protocol_specs(&scenarios);
-        scenarios.retain(|s| s.protocol.label() == label.as_str());
+        scenarios.retain(|s| labels.contains(&s.protocol.label()));
         if scenarios.is_empty() {
             die(&format!(
-                "--protocol {spec}: no sweep scenario runs {label}; sweep specs: {}",
+                "--protocol {list}: no sweep scenario runs {}; sweep specs: {}",
+                labels.join(", "),
                 all_specs.join(", ")
             ));
         }

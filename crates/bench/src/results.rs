@@ -70,7 +70,9 @@ use crate::scenarios::ScenarioRecord;
 
 /// Version of the on-disk artifact format; bumped whenever the header or
 /// payload *encoding* changes, so readers never misparse old files.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 appended the diameter columns (`estimate`, `exact`, `agrees`)
+/// after `target_n`; version-1 artifacts are rejected and recomputed.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Version of the execution engine's *record semantics*. Bump this whenever
 /// a change makes previously computed records wrong — a protocol schedule
@@ -237,6 +239,16 @@ fn push_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
+/// `Option<bool>` as one tag byte: 0 = `None`, 1 = `Some(false)`,
+/// 2 = `Some(true)`.
+fn push_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
+    out.push(match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+}
+
 /// Encodes a record payload: length-prefixed strings, little-endian `u64`s,
 /// the mean as raw `f64` bits (bit-exact round-trip — the warm-JSON
 /// byte-identity rests on this), `Option` as a tag byte. Field order is
@@ -257,6 +269,9 @@ fn encode_record(r: &ScenarioRecord) -> Vec<u8> {
     push_opt_u64(&mut out, r.physical_slots);
     out.extend_from_slice(&r.outcome.to_le_bytes());
     out.extend_from_slice(&(r.target_n as u64).to_le_bytes());
+    push_opt_u64(&mut out, r.estimate);
+    push_opt_u64(&mut out, r.exact);
+    push_opt_bool(&mut out, r.agrees);
     out
 }
 
@@ -297,6 +312,15 @@ impl<'a> Reader<'a> {
             t => format_err(format!("bad Option tag {t}")),
         }
     }
+
+    fn opt_bool(&mut self) -> Result<Option<bool>, ResultError> {
+        match self.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            t => format_err(format!("bad Option<bool> tag {t}")),
+        }
+    }
 }
 
 fn decode_record(payload: &[u8]) -> Result<ScenarioRecord, ResultError> {
@@ -319,6 +343,9 @@ fn decode_record(payload: &[u8]) -> Result<ScenarioRecord, ResultError> {
         physical_slots: r.opt_u64()?,
         outcome: r.u64()?,
         target_n: r.u64()? as usize,
+        estimate: r.opt_u64()?,
+        exact: r.opt_u64()?,
+        agrees: r.opt_bool()?,
     };
     if r.at != payload.len() {
         return format_err(format!(
@@ -861,6 +888,11 @@ mod tests {
             physical_slots: None,
             outcome: 64,
             target_n: 64,
+            // Exercise all three diameter-column shapes through the codec:
+            // present, present, and tri-state Some(false).
+            estimate: Some(13),
+            exact: Some(14),
+            agrees: Some(false),
         }
     }
 

@@ -266,6 +266,20 @@ pub enum StackSpec {
         /// How listening/transmitting slots convert into energy.
         model: EnergyModel,
     },
+    /// The physical backend with weight-ratio-aware Decay parameters:
+    /// instead of the ratio-blind `DecayParams::for_network` default, the
+    /// stack is built with [`radio_sim::DecayParams::for_energy_model`],
+    /// which trades delivery slack for fewer slots when the energy model
+    /// charges listens and transmits at skewed rates. Labelled by appending
+    /// `:tuned` to the corresponding `Physical` label (`physical:w4l1t:tuned`).
+    /// Strictly opt-in: no pre-existing scenario uses it, so the frozen
+    /// record surface is untouched.
+    PhysicalTuned {
+        /// Enable receiver-side collision detection.
+        cd: bool,
+        /// How listening/transmitting slots convert into energy.
+        model: EnergyModel,
+    },
 }
 
 impl StackSpec {
@@ -294,6 +308,14 @@ impl StackSpec {
                     weighted => format!("{base}:{}", weighted.label()),
                 }
             }
+            StackSpec::PhysicalTuned { cd, model } => {
+                let base = StackSpec::Physical {
+                    cd: *cd,
+                    model: *model,
+                }
+                .label();
+                format!("{base}:tuned")
+            }
         }
     }
 
@@ -303,6 +325,12 @@ impl StackSpec {
             "abstract" => return Some(StackSpec::Abstract),
             "abstract_cd" => return Some(StackSpec::AbstractCd),
             _ => {}
+        }
+        if let Some(base) = label.strip_suffix(":tuned") {
+            return match StackSpec::parse(base)? {
+                StackSpec::Physical { cd, model } => Some(StackSpec::PhysicalTuned { cd, model }),
+                _ => None,
+            };
         }
         let (base, model) = match label.split_once(':') {
             None => (label, EnergyModel::Uniform),
@@ -322,12 +350,31 @@ impl StackSpec {
     /// read back from the built stack's `Capabilities`, so the JSON columns
     /// can never drift from what the stack actually is.
     pub fn build(&self, graph: Arc<Graph>, seed: u64) -> Stack {
+        // Captured before the builder takes ownership; only the tuned
+        // variant reads them.
+        let (num_nodes, max_degree) = (graph.num_nodes(), graph.max_degree());
         let builder = StackBuilder::new(graph).with_seed(seed);
         match self {
             StackSpec::Abstract => builder.build(),
             StackSpec::AbstractCd => builder.with_cd().build(),
             StackSpec::Physical { cd, model } => {
                 let builder = builder.physical(*model);
+                if *cd {
+                    builder.with_cd().build()
+                } else {
+                    builder.build()
+                }
+            }
+            StackSpec::PhysicalTuned { cd, model } => {
+                // The same `(n, Δ)` derivation as PhysicalLbNetwork's
+                // ratio-blind default, routed through the weight-ratio-aware
+                // constructor instead.
+                let params = radio_sim::DecayParams::for_energy_model(
+                    num_nodes.max(2),
+                    max_degree.max(1),
+                    *model,
+                );
+                let builder = builder.physical(*model).with_decay_params(params);
                 if *cd {
                     builder.with_cd().build()
                 } else {
@@ -520,6 +567,29 @@ pub struct ScenarioRecord {
     ///
     /// [`n`]: ScenarioRecord::n
     pub target_n: usize,
+    /// Diameter estimate reported by the protocol — `Some` exactly for the
+    /// diameter-family workloads (`diameter_*` / `hyperball_*` labels),
+    /// `None` for every other protocol. Appended after [`target_n`] and
+    /// emitted in JSON only when present, so pre-existing records stay
+    /// byte-identical.
+    ///
+    /// [`target_n`]: ScenarioRecord::target_n
+    pub estimate: Option<u64>,
+    /// The exact BFS diameter of the cell's graph, computed centrally as
+    /// ground truth next to [`estimate`] — only on diameter-family cells
+    /// small enough to afford all-pairs BFS (`n ≤ 16384`; xl sketch cells
+    /// carry `None`, which is the point of running a sketch there).
+    ///
+    /// [`estimate`]: ScenarioRecord::estimate
+    pub exact: Option<u64>,
+    /// Whether [`estimate`] lands inside its method's pinned envelope
+    /// against [`exact`]: `[D/2, D]` for `two_approx`, `[⌊2D/3⌋, D]` for
+    /// `three_halves_approx`, relative error `1.04/√2^p` for hyperball.
+    /// `Some` exactly when both columns are.
+    ///
+    /// [`estimate`]: ScenarioRecord::estimate
+    /// [`exact`]: ScenarioRecord::exact
+    pub agrees: Option<bool>,
 }
 
 /// Execution knobs of the scenario runner: thread count and progress
@@ -620,12 +690,24 @@ fn run_cell(
             )
         });
     let caps = net.capabilities();
+    let label = scenario.protocol.label();
+    let estimate = report.output.diameter_estimate();
+    let exact = match estimate {
+        Some(_) if n <= EXACT_DIAMETER_CEILING => {
+            radio_graph::diameter::exact_diameter(g).map(u64::from)
+        }
+        _ => None,
+    };
+    let agrees = match (estimate, exact) {
+        (Some(est), Some(d)) => Some(diameter_agreement(&label, est, d)),
+        _ => None,
+    };
     ScenarioRecord {
         scenario: scenario.name.clone(),
         family: scenario.family.label(),
         n,
         seed,
-        protocol: scenario.protocol.label(),
+        protocol: label,
         backend: caps.label(),
         energy_model: caps.energy_model.label(),
         lb_calls: report.energy.lb_time(),
@@ -635,6 +717,51 @@ fn run_cell(
         physical_slots: report.energy.physical_slots(),
         outcome: report.outcome(),
         target_n,
+        estimate,
+        exact,
+        agrees,
+    }
+}
+
+/// Largest `n` at which a diameter-family cell also computes the exact
+/// all-pairs-BFS diameter as a ground-truth column. Above this the cell
+/// records only the estimate — which is exactly the regime the sketch
+/// exists for.
+const EXACT_DIAMETER_CEILING: usize = 16_384;
+
+/// The per-method agreement predicate behind the `agrees` column: does
+/// `estimate` land inside the envelope its protocol promises against the
+/// exact diameter `exact`?
+///
+/// * `diameter_two_approx` — Theorem 5.3: `estimate ∈ [⌈D/2⌉, D]`.
+/// * `diameter_three_halves_approx` — Theorem 5.4: `estimate ∈ [⌊2D/3⌋, D]`.
+/// * `diameter_hyperball_p{p}…` / `hyperball_p{p}…` — the standard HLL
+///   envelope, relative error `1.04/√2^p` (plus one round of slack for
+///   tiny diameters, where a single register round is the resolution).
+///
+/// Unrecognized labels fall back to exact equality, which can only make
+/// the column stricter, never silently pass.
+pub fn diameter_agreement(label: &str, estimate: u64, exact: u64) -> bool {
+    if label == "diameter_two_approx" {
+        return estimate <= exact && 2 * estimate >= exact;
+    }
+    if label == "diameter_three_halves_approx" {
+        return estimate <= exact && estimate >= (2 * exact) / 3;
+    }
+    let hyper_p = label
+        .strip_prefix("diameter_hyperball_p")
+        .or_else(|| label.strip_prefix("hyperball_p"))
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse::<u32>().ok()
+        });
+    match hyper_p {
+        Some(p) => {
+            let tol = radio_protocols::sketch::relative_error(p);
+            let slack = (tol * exact as f64).ceil().max(1.0) as u64;
+            estimate.abs_diff(exact) <= slack
+        }
+        None => estimate == exact,
     }
 }
 
@@ -1239,9 +1366,56 @@ pub fn default_scenarios() -> Vec<Scenario> {
         name: "grid64-trivial-abstract-cd".into(),
         family: Family::Grid,
         sizes: vec![4096],
-        seeds,
+        seeds: seeds.clone(),
         protocol: Protocol::TrivialBfsCd,
         stack: StackSpec::AbstractCd,
+    });
+    // PR-10 additions (append-only, after everything above): the diameter
+    // family — the HyperBall sketch against the Section 5.1 exact
+    // estimators on three shapes, same family/size/seeds per trio so the
+    // records diff into a pure method comparison. These are the first
+    // scenarios whose records carry the estimate/exact/agrees columns;
+    // sizes stay modest because the 3/2-approx runs Õ(√n) full BFS
+    // computations per cell. Three seeds: the sketch and the 2-approx are
+    // seed-deterministic here, only the hitting-set draw varies.
+    let registry = energy_bfs::protocol::registry();
+    let diam_seeds: Vec<u64> = (0..3).collect();
+    for (fam_tag, family, size) in [
+        ("grid16", Family::Grid, 256usize),
+        ("tree3", Family::Tree { arity: 3 }, 121),
+        ("lollipop", Family::Lollipop, 128),
+    ] {
+        for (ptag, spec) in [
+            ("hyperball", "diameter:hyperball:p=6"),
+            ("two-approx", "diameter:two_approx"),
+            ("three-halves", "diameter:three_halves_approx"),
+        ] {
+            out.push(Scenario {
+                name: format!("diam-{fam_tag}-{ptag}"),
+                family: family.clone(),
+                sizes: vec![size],
+                seeds: diam_seeds.clone(),
+                protocol: Protocol::from_spec(spec, &registry)
+                    .expect("default diameter spec resolves"),
+                stack: StackSpec::Abstract,
+            });
+        }
+    }
+    // The weight-ratio-aware Decay twin of `eseries-decay-w4l1t`: same
+    // workload, same seeds, same listen-heavy model, but the stack derives
+    // its Decay parameters through `DecayParams::for_energy_model` instead
+    // of the ratio-blind default — the pinned test below asserts the tuned
+    // rows charge strictly less max physical energy per seed.
+    out.push(Scenario {
+        name: "eseries-decay-w4l1t-tuned".into(),
+        family: Family::Grid,
+        sizes: vec![256],
+        seeds,
+        protocol: Protocol::DecayBfs,
+        stack: StackSpec::PhysicalTuned {
+            cd: false,
+            model: listen_heavy,
+        },
     });
     out
 }
@@ -1291,6 +1465,24 @@ pub fn xl_scenarios() -> Vec<Scenario> {
         protocol: Protocol::LbSweep { rounds: 8 },
         stack: StackSpec::Abstract,
     });
+    // The sketch where exact diameter is infeasible: one 2^18-node grid
+    // cell of round-bounded HyperBall (p=4 keeps the register plane at
+    // 2 words/node = 4 MiB; 12 rounds bound the run the same way depth=64
+    // bounds the xl wavefront). All-pairs BFS ground truth is far out of
+    // reach at this n, so the record carries `estimate` with `exact`/
+    // `agrees` absent — the sketch answers where nothing else can.
+    out.push(Scenario {
+        name: "xl-grid-hyperball".into(),
+        family: Family::Grid,
+        sizes: vec![1 << 18],
+        seeds: vec![0],
+        protocol: Protocol::from_spec(
+            "diameter:hyperball:p=4,rounds=12",
+            &energy_bfs::protocol::registry(),
+        )
+        .expect("xl hyperball spec resolves"),
+        stack: StackSpec::Abstract,
+    });
     out
 }
 
@@ -1320,13 +1512,18 @@ fn json_opt(v: Option<u64>) -> String {
 /// decimals, `null` for absent physical counters). The serve mode reuses
 /// this for its response records, so a served record is byte-identical to
 /// the same record's line in a sweep file.
+///
+/// The diameter columns (`estimate`, `exact`, `agrees`) are appended after
+/// `target_n` **only when present**: every non-diameter record — in
+/// particular all 364+ pre-existing default-sweep records — serializes to
+/// exactly the bytes it did before the columns existed.
 pub fn record_json_object(r: &ScenarioRecord) -> String {
-    format!(
+    let mut out = format!(
         "{{\"scenario\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\
          \"protocol\":\"{}\",\"backend\":\"{}\",\"energy_model\":\"{}\",\
          \"lb_calls\":{},\"max_lb_energy\":{},\
          \"mean_lb_energy\":{:.3},\"max_physical_energy\":{},\"physical_slots\":{},\
-         \"outcome\":{},\"target_n\":{}}}",
+         \"outcome\":{},\"target_n\":{}",
         json_escape(&r.scenario),
         json_escape(&r.family),
         r.n,
@@ -1341,7 +1538,18 @@ pub fn record_json_object(r: &ScenarioRecord) -> String {
         json_opt(r.physical_slots),
         r.outcome,
         r.target_n,
-    )
+    );
+    if let Some(est) = r.estimate {
+        out.push_str(&format!(",\"estimate\":{est}"));
+    }
+    if let Some(exact) = r.exact {
+        out.push_str(&format!(",\"exact\":{exact}"));
+    }
+    if let Some(agrees) = r.agrees {
+        out.push_str(&format!(",\"agrees\":{agrees}"));
+    }
+    out.push('}');
+    out
 }
 
 /// Serializes records as a stable, pretty-printed JSON array: fixed field
@@ -1410,12 +1618,34 @@ mod tests {
             physical_slots: None,
             outcome: 4,
             target_n: 5,
+            estimate: None,
+            exact: None,
+            agrees: None,
         }];
         let json = records_to_json(&records);
         assert!(json.contains("grid-\\\"big\\\"\\\\"), "escaped: {json}");
         assert!(json.contains("\"max_physical_energy\":null"));
-        // target_n is the appended (last) column — strictly after outcome.
+        // target_n closes every non-diameter record — strictly after
+        // outcome, with no estimate/exact/agrees bytes at all (the legacy
+        // byte-identity contract).
         assert!(json.contains("\"outcome\":4,\"target_n\":5}"), "{json}");
+        assert!(!json.contains("estimate"), "{json}");
+        // A diameter record appends the three columns in order.
+        let mut diam = records[0].clone();
+        diam.estimate = Some(7);
+        diam.exact = Some(8);
+        diam.agrees = Some(true);
+        let line = record_json_object(&diam);
+        assert!(
+            line.ends_with("\"target_n\":5,\"estimate\":7,\"exact\":8,\"agrees\":true}"),
+            "{line}"
+        );
+        // The xl shape: an estimate with no ground truth keeps the other
+        // two columns absent, not null.
+        diam.exact = None;
+        diam.agrees = None;
+        let line = record_json_object(&diam);
+        assert!(line.ends_with("\"target_n\":5,\"estimate\":7}"), "{line}");
     }
 
     #[test]
@@ -1540,15 +1770,19 @@ mod tests {
         assert!(!xl.is_empty());
         for s in &xl {
             assert!(s.name.starts_with("xl-"), "{}", s.name);
-            assert!(
-                matches!(
-                    s.protocol,
-                    Protocol::TrivialBfsDepth { .. } | Protocol::LbSweep { .. }
-                ),
-                "{}: unbounded protocol in the xl sweep",
-                s.name
-            );
-            assert_eq!(s.sizes, vec![1 << 18, 1 << 20]);
+            let bounded = match &s.protocol {
+                Protocol::TrivialBfsDepth { .. } | Protocol::LbSweep { .. } => true,
+                // The sketch cell is round-bounded through its spec — an
+                // unbounded hyperball at 2^18 would run to the diameter.
+                Protocol::Custom { spec, .. } => spec.contains("rounds="),
+                _ => false,
+            };
+            assert!(bounded, "{}: unbounded protocol in the xl sweep", s.name);
+            if matches!(s.protocol, Protocol::Custom { .. }) {
+                assert_eq!(s.sizes, vec![1 << 18], "{}", s.name);
+            } else {
+                assert_eq!(s.sizes, vec![1 << 18, 1 << 20], "{}", s.name);
+            }
         }
         let default_names: std::collections::BTreeSet<String> =
             default_scenarios().iter().map(|s| s.name.clone()).collect();
@@ -1881,15 +2115,36 @@ mod tests {
     }
 
     #[test]
-    fn default_sweep_appends_the_abstract_cd_twins_at_the_end() {
-        // Order is part of the byte-stable JSON contract: the PR-6 twins
-        // must sit at the very end, after every pre-existing family.
+    fn default_sweep_appends_the_new_families_at_the_end() {
+        // Order is part of the byte-stable JSON contract: each PR's
+        // additions sit strictly after every pre-existing family. The PR-6
+        // abstract-CD twins are followed by the PR-10 block — nine diameter
+        // cells (3 families × 3 methods) and the tuned E-series twin last.
         let scenarios = default_scenarios();
         let k = scenarios.len();
-        assert_eq!(scenarios[k - 2].name, "grid64-trivial-abstract");
-        assert_eq!(scenarios[k - 2].stack, StackSpec::Abstract);
-        assert_eq!(scenarios[k - 1].name, "grid64-trivial-abstract-cd");
-        assert_eq!(scenarios[k - 1].stack, StackSpec::AbstractCd);
+        assert_eq!(scenarios[k - 12].name, "grid64-trivial-abstract");
+        assert_eq!(scenarios[k - 12].stack, StackSpec::Abstract);
+        assert_eq!(scenarios[k - 11].name, "grid64-trivial-abstract-cd");
+        assert_eq!(scenarios[k - 11].stack, StackSpec::AbstractCd);
+        let diam: Vec<&Scenario> = scenarios[k - 10..k - 1].iter().collect();
+        assert_eq!(diam.len(), 9);
+        for s in &diam {
+            assert!(s.name.starts_with("diam-"), "{}", s.name);
+            assert!(s.protocol.spec().starts_with("diameter:"), "{}", s.name);
+        }
+        assert_eq!(diam[0].name, "diam-grid16-hyperball");
+        assert_eq!(diam[0].protocol.spec(), "diameter:hyperball:p=6");
+        assert_eq!(scenarios[k - 1].name, "eseries-decay-w4l1t-tuned");
+        assert_eq!(
+            scenarios[k - 1].stack,
+            StackSpec::PhysicalTuned {
+                cd: false,
+                model: EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+            }
+        );
     }
 
     #[test]
@@ -1979,12 +2234,148 @@ mod tests {
                     transmit: 1,
                 },
             },
+            StackSpec::PhysicalTuned {
+                cd: false,
+                model: EnergyModel::Uniform,
+            },
+            StackSpec::PhysicalTuned {
+                cd: true,
+                model: EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+            },
         ];
         for s in stacks {
             assert_eq!(StackSpec::parse(&s.label()), Some(s), "{}", s.label());
         }
         assert_eq!(StackSpec::parse("physical:w1l4"), None);
         assert_eq!(StackSpec::parse("quantum"), None);
+        assert_eq!(StackSpec::parse("abstract:tuned"), None);
+        assert_eq!(StackSpec::parse("physical:tuned:tuned"), None);
+        assert_eq!(
+            StackSpec::PhysicalTuned {
+                cd: false,
+                model: EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+            }
+            .label(),
+            "physical:w4l1t:tuned"
+        );
+    }
+
+    #[test]
+    fn diameter_cells_carry_estimate_exact_and_agreement_columns() {
+        let registry = energy_bfs::protocol::registry();
+        let run = |spec: &str| {
+            run_scenario(&Scenario {
+                name: "diam".into(),
+                family: Family::Grid,
+                sizes: vec![64],
+                seeds: vec![0, 1],
+                protocol: Protocol::from_spec(spec, &registry).unwrap(),
+                stack: StackSpec::Abstract,
+            })
+        };
+        // Grid 8×8: exact diameter 14.
+        for spec in [
+            "diameter:hyperball:p=6",
+            "diameter:two_approx",
+            "diameter:three_halves_approx",
+        ] {
+            for r in run(spec) {
+                assert_eq!(r.exact, Some(14), "{spec} seed {}", r.seed);
+                let est = r.estimate.expect("diameter cell has an estimate");
+                assert_eq!(r.outcome, est, "outcome doubles as the estimate");
+                assert_eq!(
+                    r.agrees,
+                    Some(true),
+                    "{spec} seed {}: estimate {est} outside the envelope",
+                    r.seed
+                );
+            }
+        }
+        // Non-diameter protocols keep all three columns absent.
+        let plain = run_scenario(&Scenario {
+            name: "plain".into(),
+            family: Family::Grid,
+            sizes: vec![64],
+            seeds: vec![0],
+            protocol: Protocol::TrivialBfs,
+            stack: StackSpec::Abstract,
+        });
+        assert_eq!(
+            (plain[0].estimate, plain[0].exact, plain[0].agrees),
+            (None, None, None)
+        );
+    }
+
+    #[test]
+    fn diameter_agreement_envelopes_match_the_method_guarantees() {
+        // Theorem 5.3: [⌈D/2⌉, D].
+        assert!(diameter_agreement("diameter_two_approx", 7, 14));
+        assert!(diameter_agreement("diameter_two_approx", 14, 14));
+        assert!(!diameter_agreement("diameter_two_approx", 6, 14));
+        assert!(!diameter_agreement("diameter_two_approx", 15, 14));
+        // Theorem 5.4: [⌊2D/3⌋, D].
+        assert!(diameter_agreement("diameter_three_halves_approx", 9, 14));
+        assert!(!diameter_agreement("diameter_three_halves_approx", 8, 14));
+        assert!(!diameter_agreement("diameter_three_halves_approx", 15, 14));
+        // HyperBall at p=6: tol = 1.04/8 = 0.13, so ±⌈0.13·62⌉ = ±9 at
+        // D=62 and ±1 minimum at tiny diameters; both label shapes parse.
+        assert!(diameter_agreement("diameter_hyperball_p6", 53, 62));
+        assert!(!diameter_agreement("diameter_hyperball_p6", 52, 62));
+        assert!(diameter_agreement("hyperball_p6", 3, 4));
+        assert!(diameter_agreement("diameter_hyperball_p4_r12", 50, 62));
+        // Unknown labels degrade to exact equality.
+        assert!(diameter_agreement("something_else", 5, 5));
+        assert!(!diameter_agreement("something_else", 4, 5));
+    }
+
+    #[test]
+    fn tuned_decay_params_cut_weighted_energy_on_the_eseries_twin() {
+        // The satellite-2 pin at sweep scale: the listen-heavy (w4l1t)
+        // Decay wavefront on the tuned stack must charge strictly less max
+        // physical energy than the identical workload on the ratio-blind
+        // default, seed by seed, while still labelling the whole grid.
+        let listen_heavy = EnergyModel::Weighted {
+            listen: 4,
+            transmit: 1,
+        };
+        let run = |stack: StackSpec| {
+            run_scenario(&Scenario {
+                name: "tuned".into(),
+                family: Family::Grid,
+                sizes: vec![256],
+                seeds: (0..3).collect(),
+                protocol: Protocol::DecayBfs,
+                stack,
+            })
+        };
+        let blind = run(StackSpec::Physical {
+            cd: false,
+            model: listen_heavy,
+        });
+        let tuned = run(StackSpec::PhysicalTuned {
+            cd: false,
+            model: listen_heavy,
+        });
+        for (b, t) in blind.iter().zip(&tuned) {
+            assert_eq!(b.seed, t.seed);
+            assert_eq!(t.backend, "physical");
+            assert_eq!(t.energy_model, "w4l1t");
+            assert_eq!(t.outcome, 256, "seed {}: tuned run lost vertices", t.seed);
+            assert!(
+                t.max_physical_energy.unwrap() < b.max_physical_energy.unwrap(),
+                "seed {}: tuned {} not below ratio-blind {}",
+                t.seed,
+                t.max_physical_energy.unwrap(),
+                b.max_physical_energy.unwrap()
+            );
+            assert!(t.physical_slots.unwrap() < b.physical_slots.unwrap());
+        }
     }
 
     #[test]

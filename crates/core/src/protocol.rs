@@ -11,8 +11,12 @@
 //! | `trivial_bfs_cd[:depth=D]` | the wavefront + CD verdicts ([`crate::baseline::trivial_bfs_cd`]) | receiver CD |
 //! | `decay_bfs` | unbounded wavefront, stops when a sweep settles nothing | — |
 //! | `recursive[:b=B,eps=E,d=L]` | recursive BFS, `1/β = B` (default `⌈√D⌉` per `eps = 0.5`) | — |
+//! | `diameter:two_approx` | Theorem 5.3 2-approximation ([`crate::diameter::two_approx_diameter`]) | — |
+//! | `diameter:three_halves_approx` | Theorem 5.4 nearly-3/2 approximation | — |
+//! | `diameter:hyperball[:p=P][,rounds=R]` | HyperBall sketch estimate (error `1.04/√2^p`) | — |
 //! | `clustering:b=B` | distributed MPX clustering (from `radio-protocols`) | — |
 //! | `lb_sweep:r=R` | Local-Broadcast stress loop (from `radio-protocols`) | — |
+//! | `hyperball[:p=P][,rounds=R]` | full HyperBall output: NF + eccentricities (from `radio-protocols`) | — |
 //!
 //! Every wrapper reproduces the historical free-function call exactly
 //! (sources, depth defaults, seed derivation), so registry-dispatched runs
@@ -20,6 +24,7 @@
 //! JSON stability rests on, pinned by `crates/bench/tests/properties.rs`.
 
 use radio_protocols::protocol::base_registry;
+use radio_protocols::sketch::{HyperballProtocol, MAX_PRECISION, MIN_PRECISION};
 use radio_protocols::{
     CollisionDetection, LbFrame, Protocol, ProtocolId, ProtocolInput, ProtocolOutput,
     ProtocolRegistry, RadioStack,
@@ -27,6 +32,7 @@ use radio_protocols::{
 
 use crate::baseline::{decay_bfs_with_frame, trivial_bfs_cd_with_frame, trivial_bfs_with_frame};
 use crate::config::RecursiveBfsConfig;
+use crate::diameter::{three_halves_approx_diameter, two_approx_diameter};
 use crate::recursive_bfs::{build_hierarchy, recursive_bfs_with_hierarchy};
 
 /// The full protocol registry: the Local-Broadcast-layer protocols of
@@ -90,6 +96,54 @@ pub fn registry() -> ProtocolRegistry {
                 eps,
                 max_depth: max_depth as usize,
             }))
+        },
+    );
+    r.register(
+        "diameter",
+        "diameter estimation family: exactly one of two_approx | three_halves_approx | \
+         hyperball[:p=P][,rounds=R]",
+        |params| {
+            params.ensure_known_keys(&[
+                "two_approx",
+                "three_halves_approx",
+                "hyperball",
+                "hyperball:p",
+                "rounds",
+            ])?;
+            let two = params.flag("two_approx")?;
+            let three = params.flag("three_halves_approx")?;
+            let hyper_p = params.get_opt_u64("hyperball:p")?;
+            let hyper = params.flag("hyperball")? || hyper_p.is_some();
+            let rounds = params.get_opt_u64("rounds")?;
+            if usize::from(two) + usize::from(three) + usize::from(hyper) != 1 {
+                return Err(params.invalid(
+                    "pick exactly one method: two_approx, three_halves_approx, or \
+                     hyperball[:p=P]",
+                ));
+            }
+            if rounds.is_some() && !hyper {
+                return Err(params.invalid("parameter rounds only applies to hyperball"));
+            }
+            if rounds == Some(0) {
+                return Err(params.invalid("parameter rounds must be ≥ 1"));
+            }
+            let method = if two {
+                DiameterMethod::TwoApprox
+            } else if three {
+                DiameterMethod::ThreeHalvesApprox
+            } else {
+                let p = hyper_p.unwrap_or(6);
+                if !(u64::from(MIN_PRECISION)..=u64::from(MAX_PRECISION)).contains(&p) {
+                    return Err(params.invalid(format!(
+                        "parameter hyperball:p={p} outside {MIN_PRECISION}..={MAX_PRECISION}"
+                    )));
+                }
+                DiameterMethod::Hyperball(HyperballProtocol {
+                    p: p as u32,
+                    rounds,
+                })
+            };
+            Ok(Box::new(DiameterProtocol { method }))
         },
     );
     r
@@ -245,6 +299,102 @@ impl Protocol for RecursiveBfsProtocol {
     }
 }
 
+/// Which estimator a [`DiameterProtocol`] runs.
+#[derive(Clone, Debug)]
+pub enum DiameterMethod {
+    /// Theorem 5.3: one full BFS from an elected leader, estimate ∈
+    /// `[diam/2, diam]`.
+    TwoApprox,
+    /// Theorem 5.4: the hitting-set construction, `Õ(√n)` BFS runs,
+    /// estimate ∈ `[⌊2·diam/3⌋, diam]`.
+    ThreeHalvesApprox,
+    /// The HyperBall sketch: no BFS at all, estimate = last round that
+    /// changed a register (within `1.04/√2^p` of the diameter, up to hash
+    /// collisions — and capped by `rounds` when bounded).
+    Hyperball(HyperballProtocol),
+}
+
+/// The Section 5 diameter estimators as one registry family
+/// (`diameter:two_approx`, `diameter:three_halves_approx`,
+/// `diameter:hyperball:p=…`), each reporting
+/// [`ProtocolOutput::Diameter`] — {estimate, BFS count} plus the usual
+/// energy diff — so exact-vs-sketch tradeoffs are one spec swap apart.
+///
+/// The exact estimators derive their [`RecursiveBfsConfig`] from the
+/// depth exactly as the `recursive` wrapper does (`1/β = √D` rounded to a
+/// power of two, seeded from the input), so a registry-dispatched run is
+/// byte-identical to the historical direct calls of E12/E13.
+#[derive(Clone, Debug)]
+pub struct DiameterProtocol {
+    /// The selected estimator.
+    pub method: DiameterMethod,
+}
+
+impl Protocol for DiameterProtocol {
+    fn name(&self) -> ProtocolId {
+        match &self.method {
+            DiameterMethod::TwoApprox => ProtocolId::new("diameter_two_approx"),
+            DiameterMethod::ThreeHalvesApprox => ProtocolId::new("diameter_three_halves_approx"),
+            DiameterMethod::Hyperball(h) => ProtocolId::new(format!("diameter_{}", h.name())),
+        }
+    }
+
+    fn execute(
+        &self,
+        net: &mut dyn RadioStack,
+        input: &ProtocolInput,
+        frame: &mut LbFrame,
+    ) -> ProtocolOutput {
+        match &self.method {
+            DiameterMethod::TwoApprox => {
+                let config = diameter_config(net, input);
+                let est = two_approx_diameter(net, &config);
+                ProtocolOutput::Diameter {
+                    estimate: est.estimate,
+                    bfs_count: est.bfs_count,
+                }
+            }
+            DiameterMethod::ThreeHalvesApprox => {
+                let config = diameter_config(net, input);
+                let est = three_halves_approx_diameter(net, &config, input.seed);
+                ProtocolOutput::Diameter {
+                    estimate: est.estimate,
+                    bfs_count: est.bfs_count,
+                }
+            }
+            DiameterMethod::Hyperball(h) => {
+                let summary = match h.execute(net, input, frame) {
+                    ProtocolOutput::Sketch(s) => s,
+                    other => unreachable!("hyperball produced {other:?}"),
+                };
+                ProtocolOutput::Diameter {
+                    estimate: summary.diameter_estimate,
+                    bfs_count: 0,
+                }
+            }
+        }
+    }
+}
+
+/// The depth-tuned [`RecursiveBfsConfig`] the exact diameter estimators
+/// run with — the same `√D`-rounded `1/β` derivation as the `recursive`
+/// wrapper's default path (see the ulp note there).
+fn diameter_config(net: &dyn RadioStack, input: &ProtocolInput) -> RecursiveBfsConfig {
+    let depth = input
+        .depth
+        .unwrap_or((net.num_nodes() as u64).saturating_sub(1));
+    let inv_beta = ((depth as f64).sqrt().round() as u64)
+        .next_power_of_two()
+        .max(4);
+    RecursiveBfsConfig {
+        inv_beta,
+        max_depth: 1,
+        trivial_cutoff: inv_beta,
+        seed: input.seed,
+        ..Default::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,17 +403,19 @@ mod tests {
     use radio_sim::EnergyModel;
 
     #[test]
-    fn registry_knows_all_six_protocol_families() {
+    fn registry_knows_all_eight_protocol_families() {
         let r = registry();
         assert_eq!(
             r.known(),
             vec![
                 "clustering",
                 "lb_sweep",
+                "hyperball",
                 "trivial_bfs",
                 "trivial_bfs_cd",
                 "decay_bfs",
-                "recursive"
+                "recursive",
+                "diameter"
             ]
         );
         assert_eq!(r.get("trivial_bfs").unwrap().name(), "trivial_bfs");
@@ -275,6 +427,143 @@ mod tests {
             r.get("trivial_bfs:depth=5").unwrap().name(),
             "trivial_bfs_d5"
         );
+        assert_eq!(r.get("hyperball:p=6").unwrap().name(), "hyperball_p6");
+    }
+
+    #[test]
+    fn diameter_family_resolves_each_method_and_rejects_ambiguity() {
+        let r = registry();
+        assert_eq!(
+            r.get("diameter:two_approx").unwrap().name(),
+            "diameter_two_approx"
+        );
+        assert_eq!(
+            r.get("diameter:three_halves_approx").unwrap().name(),
+            "diameter_three_halves_approx"
+        );
+        assert_eq!(
+            r.get("diameter:hyperball").unwrap().name(),
+            "diameter_hyperball_p6"
+        );
+        assert_eq!(
+            r.get("diameter:hyperball:p=8").unwrap().name(),
+            "diameter_hyperball_p8"
+        );
+        assert_eq!(
+            r.get("diameter:hyperball:p=6,rounds=12").unwrap().name(),
+            "diameter_hyperball_p6_r12"
+        );
+        for spec in [
+            "diameter",                                // no method picked
+            "diameter:two_approx,three_halves_approx", // two methods
+            "diameter:two_approx,rounds=4",            // rounds without hyperball
+            "diameter:hyperball:p=3",                  // p below the floor
+            "diameter:hyperball:p=6,rounds=0",         // zero bound
+            "diameter:two_approx=1",                   // selector given a value
+            "diameter:warp",                           // unknown method
+        ] {
+            assert!(
+                matches!(r.get(spec), Err(ProtocolError::InvalidSpec { .. })),
+                "{spec} must be rejected"
+            );
+        }
+        // The unknown-spec listing includes the new families (the CLI's
+        // exit-2 contract).
+        let Err(err) = r.get("warp_drive") else {
+            panic!("warp_drive resolved");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("diameter") && msg.contains("hyperball"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn diameter_two_approx_wrapper_matches_the_direct_call() {
+        let g = generators::grid(8, 8);
+        let seed = 12u64;
+        let report = {
+            let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
+            registry()
+                .get("diameter:two_approx")
+                .unwrap()
+                .run(&mut net, &ProtocolInput::from_seed(seed))
+                .unwrap()
+        };
+        let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
+        let depth = (g.num_nodes() as u64) - 1;
+        let inv_beta = ((depth as f64).sqrt().round() as u64)
+            .next_power_of_two()
+            .max(4);
+        let config = RecursiveBfsConfig {
+            inv_beta,
+            max_depth: 1,
+            trivial_cutoff: inv_beta,
+            seed,
+            ..Default::default()
+        };
+        let direct = crate::diameter::two_approx_diameter(&mut net, &config);
+        assert_eq!(report.outcome(), direct.estimate);
+        assert_eq!(report.output.diameter_estimate(), Some(direct.estimate));
+        assert_eq!(report.energy, net.energy_view());
+        // Theorem 5.3 guarantee against the known grid diameter (14).
+        let diam = 14u64;
+        assert!(direct.estimate <= diam && 2 * direct.estimate >= diam);
+    }
+
+    #[test]
+    fn diameter_three_halves_wrapper_matches_the_direct_call() {
+        let g = generators::grid(6, 6);
+        let seed = 13u64;
+        let report = {
+            let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
+            registry()
+                .get("diameter:three_halves_approx")
+                .unwrap()
+                .run(&mut net, &ProtocolInput::from_seed(seed))
+                .unwrap()
+        };
+        let mut net = StackBuilder::new(g.clone()).with_seed(seed).build();
+        let depth = (g.num_nodes() as u64) - 1;
+        let inv_beta = ((depth as f64).sqrt().round() as u64)
+            .next_power_of_two()
+            .max(4);
+        let config = RecursiveBfsConfig {
+            inv_beta,
+            max_depth: 1,
+            trivial_cutoff: inv_beta,
+            seed,
+            ..Default::default()
+        };
+        let direct = crate::diameter::three_halves_approx_diameter(&mut net, &config, seed);
+        assert_eq!(report.outcome(), direct.estimate);
+        assert_eq!(report.energy, net.energy_view());
+        match report.output {
+            ProtocolOutput::Diameter { bfs_count, .. } => {
+                assert_eq!(bfs_count, direct.bfs_count);
+                assert!(bfs_count > 1, "hitting-set method runs many BFS");
+            }
+            other => panic!("expected diameter output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diameter_hyperball_estimates_the_path_diameter_exactly() {
+        // Loss-free stack, path(32): ball-exact flooding makes the last
+        // changing round the true diameter — no envelope slack needed.
+        let g = generators::path(32);
+        let mut net = StackBuilder::new(g).build();
+        let report = registry()
+            .get("diameter:hyperball:p=6")
+            .unwrap()
+            .run(&mut net, &ProtocolInput::from_seed(4))
+            .unwrap();
+        assert_eq!(report.outcome(), 31);
+        match report.output {
+            ProtocolOutput::Diameter { bfs_count, .. } => assert_eq!(bfs_count, 0),
+            other => panic!("expected diameter output, got {other:?}"),
+        }
     }
 
     #[test]

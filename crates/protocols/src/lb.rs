@@ -198,6 +198,10 @@ impl RadioStack for AbstractLbNetwork {
             self.lb_time(),
         )
     }
+
+    fn topology(&self) -> Option<&Graph> {
+        Some(&self.graph)
+    }
 }
 
 /// The physical back-end: every Local-Broadcast call expands into Decay
@@ -347,6 +351,10 @@ impl RadioStack for PhysicalLbNetwork {
             meter.slots(),
             self.model,
         )
+    }
+
+    fn topology(&self) -> Option<&Graph> {
+        Some(self.net.graph())
     }
 }
 

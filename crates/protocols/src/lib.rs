@@ -34,7 +34,10 @@
 //!   [`ProtocolRegistry`] resolving string specs (`clustering:b=4`,
 //!   `lb_sweep:r=16`, and — via `energy-bfs` — the BFS drivers) into boxed
 //!   protocols with capability gating and unified [`ProtocolReport`]
-//!   telemetry.
+//!   telemetry;
+//! * [`sketch`] — HyperLogLog counters with word-parallel merge kernels
+//!   and the HyperBall neighborhood-function protocol (`hyperball:p=6`),
+//!   the sketch-based end of the distance-computation spectrum.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +52,7 @@ pub mod leader;
 pub mod ledger;
 pub mod message;
 pub mod protocol;
+pub mod sketch;
 pub mod stack;
 
 pub use cluster_net::VirtualClusterNet;
@@ -60,6 +64,7 @@ pub use protocol::{
     Protocol, ProtocolError, ProtocolId, ProtocolInput, ProtocolOutput, ProtocolRegistry,
     ProtocolReport,
 };
+pub use sketch::{HllSketch, HyperballProtocol, SketchSummary};
 pub use stack::{Capabilities, EnergyView, RadioStack, Stack, StackBuilder};
 // Re-exported so protocol callers can build stacks and cast/sweep inputs
 // without depending on `radio-sim` directly.

@@ -172,16 +172,30 @@ pub enum ProtocolOutput {
     Clustering(ClusterState),
     /// Number of deliveries (stress/sweep protocols).
     Deliveries(u64),
+    /// A HyperBall run: neighborhood function, diameter and eccentricity
+    /// estimates (sketch protocols).
+    Sketch(crate::sketch::SketchSummary),
+    /// A diameter estimate from one of the Section 5 approximation
+    /// protocols (the `diameter:*` family).
+    Diameter {
+        /// The diameter estimate.
+        estimate: u64,
+        /// BFS computations the estimator ran (1 for the 2-approximation,
+        /// `Õ(√n)` for the nearly-3/2 one, 0 for the sketch).
+        bfs_count: u64,
+    },
 }
 
 impl ProtocolOutput {
     /// The scalar summary the scenario records carry: vertices labelled,
-    /// clusters formed, or deliveries.
+    /// clusters formed, deliveries, or a diameter estimate.
     pub fn outcome(&self) -> u64 {
         match self {
             ProtocolOutput::Distances(dist) => dist.iter().filter(|d| d.is_some()).count() as u64,
             ProtocolOutput::Clustering(state) => state.num_clusters() as u64,
             ProtocolOutput::Deliveries(d) => *d,
+            ProtocolOutput::Sketch(summary) => summary.outcome(),
+            ProtocolOutput::Diameter { estimate, .. } => *estimate,
         }
     }
 
@@ -197,6 +211,25 @@ impl ProtocolOutput {
     pub fn clustering(&self) -> Option<&ClusterState> {
         match self {
             ProtocolOutput::Clustering(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The sketch summary, when this is a HyperBall output.
+    pub fn sketch(&self) -> Option<&crate::sketch::SketchSummary> {
+        match self {
+            ProtocolOutput::Sketch(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The diameter estimate, when this is a diameter-family output — the
+    /// sketch variant reports its own estimate here too, so agreement
+    /// checks read one accessor for the whole family.
+    pub fn diameter_estimate(&self) -> Option<u64> {
+        match self {
+            ProtocolOutput::Diameter { estimate, .. } => Some(*estimate),
+            ProtocolOutput::Sketch(s) => Some(s.diameter_estimate),
             _ => None,
         }
     }
@@ -436,6 +469,17 @@ impl SpecParams {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Reads a bare selector key (`name:key`, no value): `true` when
+    /// present, an [`ProtocolError::InvalidSpec`] if it was given a value
+    /// — the family-spec shape (`diameter:two_approx`).
+    pub fn flag(&self, key: &str) -> Result<bool, ProtocolError> {
+        match self.raw(key) {
+            None => Ok(false),
+            Some("") => Ok(true),
+            Some(v) => Err(self.invalid(format!("parameter {key} is a selector, got {key}={v:?}"))),
+        }
+    }
+
     /// Reads a `u64` parameter, falling back to `default` when absent.
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ProtocolError> {
         Ok(self.get_opt_u64(key)?.unwrap_or(default))
@@ -467,6 +511,12 @@ impl SpecParams {
 }
 
 /// Splits `name[:k=v[,k=v]*]` into the protocol name and its parameters.
+///
+/// A parameter without `=` is kept as a *bare key* with an empty value —
+/// the selector shape family specs use (`diameter:two_approx`,
+/// `diameter:hyperball:p=6`). Factories that do not document bare keys
+/// still reject them: an empty value fails every typed getter, and
+/// [`SpecParams::ensure_known_keys`] rejects unknown names as before.
 fn parse_spec(spec: &str) -> Result<(&str, SpecParams), ProtocolError> {
     let spec = spec.trim();
     let (name, rest) = match spec.split_once(':') {
@@ -475,12 +525,7 @@ fn parse_spec(spec: &str) -> Result<(&str, SpecParams), ProtocolError> {
     };
     let mut pairs: Vec<(String, String)> = Vec::new();
     for part in rest.split(',').filter(|p| !p.is_empty()) {
-        let Some((k, v)) = part.split_once('=') else {
-            return Err(ProtocolError::InvalidSpec {
-                spec: spec.to_string(),
-                reason: format!("parameter {part:?} is not of the form key=value"),
-            });
-        };
+        let (k, v) = part.split_once('=').unwrap_or((part, ""));
         let k = k.trim().to_string();
         // First-wins would silently drop the later (likely intended)
         // value; make the conflict loud instead.
@@ -610,6 +655,15 @@ pub fn base_registry() -> ProtocolRegistry {
             Ok(Box::new(LbSweepProtocol { rounds }))
         },
     );
+    r.register(
+        "hyperball",
+        "HyperBall neighborhood-function sketch; p = register bits (default 6), rounds = bound",
+        |params| {
+            Ok(Box::new(crate::sketch::HyperballProtocol::from_params(
+                params,
+            )?))
+        },
+    );
     r
 }
 
@@ -693,7 +747,7 @@ mod tests {
         assert_eq!(r.get("clustering").unwrap().name(), "clustering_b4");
         assert_eq!(r.get("clustering:b=7").unwrap().name(), "clustering_b7");
         assert_eq!(r.get("lb_sweep:r=3").unwrap().name(), "lb_sweep_3");
-        assert_eq!(r.known(), vec!["clustering", "lb_sweep"]);
+        assert_eq!(r.known(), vec!["clustering", "lb_sweep", "hyperball"]);
         assert!(r.help().contains("clustering"));
     }
 

@@ -382,6 +382,17 @@ pub trait RadioStack {
     fn new_frame(&self) -> LbFrame {
         LbFrame::new(self.num_nodes())
     }
+
+    /// The simulator's bird's-eye view of the topology, when this stack
+    /// has a concrete one. Protocols in the paper's KT1 setting (every
+    /// node knows its neighbors) use it to precompute schedules — e.g.
+    /// HyperBall targeting each sender's neighborhood instead of the whole
+    /// vertex set. Virtual stacks return `None` (the default): their node
+    /// ids do not name vertices of any concrete graph, and callers must
+    /// fall back to all-node receiver sets.
+    fn topology(&self) -> Option<&Graph> {
+        None
+    }
 }
 
 /// Which backend a [`StackBuilder`] produces.
@@ -623,6 +634,10 @@ impl RadioStack for Stack {
             Stack::Abstract(a) => a.energy_view(),
             Stack::Physical(p) => p.energy_view(),
         }
+    }
+
+    fn topology(&self) -> Option<&Graph> {
+        Some(self.graph())
     }
 }
 

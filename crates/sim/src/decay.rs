@@ -55,6 +55,36 @@ impl DecayParams {
         }
     }
 
+    /// Weight-ratio-aware parameters (the paper's "other energy models"
+    /// discussion): on a skewed radio — listen-heavy like `w4l1t` or
+    /// transmit-heavy like `w1l4t` — every extra decay iteration costs the
+    /// expensive side `⌈log₂ Δ⌉ + 1` weighted slots, so the conventional
+    /// `f = n^{-3}` over-insures. This relaxes the failure exponent from
+    /// `3` toward `3/ratio` (floored at `1.5`, still `1/poly(n)` and far
+    /// below any per-call delivery the sweeps observe), cutting iterations
+    /// — and therefore max weighted energy — roughly in proportion to the
+    /// skew. On a uniform radio (`ratio = 1`) it is exactly
+    /// [`DecayParams::for_network`], so tuning is a strict no-op where
+    /// there is nothing to trade.
+    pub fn for_energy_model(n: usize, max_degree: usize, model: crate::EnergyModel) -> Self {
+        let ratio = match model {
+            crate::EnergyModel::Uniform => 1.0,
+            crate::EnergyModel::Weighted { listen, transmit } => {
+                let (listen, transmit) = (listen.max(1) as f64, transmit.max(1) as f64);
+                (listen.max(transmit)) / (listen.min(transmit))
+            }
+        };
+        if ratio <= 1.0 {
+            return DecayParams::for_network(n, max_degree);
+        }
+        let exponent = (3.0 / ratio).max(1.5);
+        let n = n.max(2) as f64;
+        DecayParams {
+            max_degree: max_degree.max(1),
+            failure_prob: n.powf(-exponent),
+        }
+    }
+
     /// Number of slots per decay iteration: `⌈log₂ Δ⌉ + 1` (at least 1), so
     /// that every sender-count in `[1, Δ]` has a matching slot.
     pub fn slots_per_iteration(&self) -> usize {
@@ -689,5 +719,94 @@ mod tests {
         frame.add_receiver(3);
         decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r);
         assert!(frame.delivered().is_empty());
+    }
+
+    #[test]
+    fn energy_model_tuning_cuts_slots_on_skewed_radios_only() {
+        use crate::EnergyModel;
+        let (n, delta) = (256usize, 4usize);
+        let blind = DecayParams::for_network(n, delta);
+        // Uniform radio: tuning is the identity.
+        assert_eq!(
+            DecayParams::for_energy_model(n, delta, EnergyModel::Uniform),
+            blind
+        );
+        assert_eq!(
+            DecayParams::for_energy_model(
+                n,
+                delta,
+                EnergyModel::Weighted {
+                    listen: 2,
+                    transmit: 2
+                }
+            ),
+            blind
+        );
+        // Skewed radios (either direction) relax the failure exponent and
+        // shorten the call; more skew, shorter.
+        let listen_heavy = DecayParams::for_energy_model(
+            n,
+            delta,
+            EnergyModel::Weighted {
+                listen: 4,
+                transmit: 1,
+            },
+        );
+        let transmit_heavy = DecayParams::for_energy_model(
+            n,
+            delta,
+            EnergyModel::Weighted {
+                listen: 1,
+                transmit: 4,
+            },
+        );
+        assert_eq!(listen_heavy, transmit_heavy, "ratio is direction-blind");
+        assert!(listen_heavy.failure_prob > blind.failure_prob);
+        assert!(listen_heavy.total_slots() < blind.total_slots());
+        let extreme = DecayParams::for_energy_model(
+            n,
+            delta,
+            EnergyModel::Weighted {
+                listen: 1,
+                transmit: 100,
+            },
+        );
+        assert!(extreme.total_slots() <= listen_heavy.total_slots());
+        // The exponent floor keeps failures 1/poly(n).
+        assert!(extreme.failure_prob <= (n as f64).powf(-1.5) * 1.0001);
+    }
+
+    #[test]
+    fn tuned_params_still_deliver_on_a_star() {
+        use crate::EnergyModel;
+        let n = 64;
+        let g = generators::star(n);
+        let params = DecayParams {
+            max_degree: n - 1,
+            ..DecayParams::for_energy_model(
+                n,
+                n - 1,
+                EnergyModel::Weighted {
+                    listen: 4,
+                    transmit: 1,
+                },
+            )
+        };
+        let mut r = rng(9);
+        let mut delivered = 0usize;
+        let trials = 30;
+        let mut frame: RoundFrame<u64> = RoundFrame::new(n);
+        let mut scratch: DecayScratch<u64> = DecayScratch::new(n);
+        for _ in 0..trials {
+            let mut net: RadioNetwork<u64> = RadioNetwork::new(g.clone());
+            frame.clear();
+            for v in 1..n {
+                frame.add_sender(v, v as u64);
+            }
+            frame.add_receiver(0);
+            decay_local_broadcast(&mut net, &mut frame, &mut scratch, params, &mut r);
+            delivered += usize::from(frame.delivered().contains(0));
+        }
+        assert_eq!(delivered, trials, "shorter calls must still deliver whp");
     }
 }
